@@ -1,0 +1,73 @@
+// Command fcprofile runs the paper's profiling phase for one application:
+// it boots a QEMU-environment guest, drives the application's workload in
+// a tracked process, and writes the resulting kernel view configuration
+// file (Section III-A).
+//
+// Usage:
+//
+//	fcprofile -app top -o top.view.json
+//	fcprofile -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"facechange"
+	"facechange/internal/apps"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fcprofile:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		appName  = flag.String("app", "", "application to profile (see -list)")
+		out      = flag.String("o", "", "output view configuration file (default <app>.view.json)")
+		syscalls = flag.Int("syscalls", 600, "workload length in system calls")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		list     = flag.Bool("list", false, "list profileable applications")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range apps.Catalog() {
+			mods := ""
+			if len(a.Modules) > 0 {
+				mods = fmt.Sprintf(" (modules: %v)", a.Modules)
+			}
+			fmt.Printf("%s%s\n", a.Name, mods)
+		}
+		return nil
+	}
+	app, ok := apps.ByName(*appName)
+	if !ok {
+		return fmt.Errorf("unknown application %q (try -list)", *appName)
+	}
+	view, err := facechange.Profile(app, facechange.ProfileConfig{
+		Syscalls: *syscalls,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = app.Name + ".view.json"
+	}
+	data, err := view.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("profiled %s: %d KB of kernel code in %d ranges → %s\n",
+		app.Name, view.Size()/1024, view.Len(), path)
+	return nil
+}

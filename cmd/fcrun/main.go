@@ -1,0 +1,141 @@
+// Command fcrun runs the paper's runtime phase: it boots a KVM-environment
+// guest with FACE-CHANGE attached, loads kernel view configuration files,
+// runs application workloads (optionally with one of the Table II attacks
+// injected), and prints the kernel code recovery log with attack
+// provenance (Section III-B).
+//
+// Usage:
+//
+//	fcrun -view top.view.json -app top
+//	fcrun -view top.view.json -app top -attack Injectso
+//	fcrun -attacks            # list attacks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"facechange"
+	"facechange/internal/apps"
+	"facechange/internal/kernel"
+	"facechange/internal/kview"
+	"facechange/internal/malware"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fcrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		viewFiles   = flag.String("view", "", "comma-separated kernel view configuration files")
+		appName     = flag.String("app", "", "application workload to run")
+		attackName  = flag.String("attack", "", "inject a Table II attack (see -attacks)")
+		syscalls    = flag.Int("syscalls", 300, "workload length in system calls")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		ncpu        = flag.Int("ncpu", 1, "number of vCPUs")
+		listAttacks = flag.Bool("attacks", false, "list available attacks")
+		verbose     = flag.Bool("v", false, "print full backtraces for every recovery")
+	)
+	flag.Parse()
+
+	if *listAttacks {
+		for _, a := range malware.Catalog() {
+			fmt.Printf("%-14s %-10s victim=%-8s %s\n", a.Name, a.Kind, a.Victim, a.Payload)
+		}
+		return nil
+	}
+
+	app, ok := apps.ByName(*appName)
+	if !ok {
+		return fmt.Errorf("unknown application %q", *appName)
+	}
+
+	var attack *malware.Attack
+	if *attackName != "" {
+		a, ok := malware.ByName(*attackName)
+		if !ok {
+			return fmt.Errorf("unknown attack %q (try -attacks)", *attackName)
+		}
+		if a.Victim != app.Name {
+			return fmt.Errorf("attack %s targets %s, not %s", a.Name, a.Victim, app.Name)
+		}
+		attack = &a
+	}
+
+	cfg := facechange.VMConfig{Modules: app.Modules, NCPU: *ncpu}
+	if attack != nil {
+		cfg.ExtraModules = attack.ExtraModules()
+	}
+	vm, err := facechange.NewVM(cfg)
+	if err != nil {
+		return err
+	}
+
+	if attack != nil && attack.IsRootkit() {
+		if err := attack.InstallRootkit(vm.Kernel); err != nil {
+			return err
+		}
+		fmt.Printf("rootkit %s installed before view creation\n", attack.Name)
+	}
+
+	for _, path := range strings.Split(*viewFiles, ",") {
+		if path == "" {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		v, err := kview.Unmarshal(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		idx, err := vm.LoadView(v)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("loaded view %d for %q (%d KB)\n", idx, v.App, v.Size()/1024)
+	}
+	vm.Runtime.Enable()
+
+	var task *kernel.Task
+	if attack != nil {
+		task, err = attack.Launch(vm.Kernel, *seed, *syscalls)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("launched %s against %s\n", attack.Name, app.Name)
+	} else {
+		task = vm.StartApp(app, *seed, *syscalls)
+	}
+
+	if err := vm.Run(20_000_000_000, func() bool { return task.State == kernel.TaskDead }); err != nil {
+		return err
+	}
+
+	fmt.Printf("\nworkload done: %d syscalls, %d view switches, %d recoveries (%d interrupt-context, %d instant)\n",
+		task.SyscallsDone, vm.Runtime.ViewSwitches, vm.Runtime.Recoveries,
+		vm.Runtime.InterruptRecoveries, vm.Runtime.InstantRecoveries)
+	fmt.Println("\nkernel code recovery log:")
+	for _, ev := range vm.Runtime.Log() {
+		if *verbose {
+			fmt.Print(ev.String())
+		} else {
+			tag := ""
+			if ev.Interrupt {
+				tag = " [interrupt context]"
+			}
+			if ev.Instant {
+				tag += " [instant]"
+			}
+			fmt.Printf("0x%08x <%s> for kernel[%s]%s\n", ev.Addr, ev.Fn, ev.View, tag)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+// Command fcview inspects and manipulates kernel view configuration files:
+// summarize one view (with per-function coverage against the generated
+// kernel's symbol inventory), compare two views (overlap and similarity
+// index, the cells of Table I), and merge views (union, the system-wide
+// minimized kernel or multi-session profiles).
+//
+// Usage:
+//
+//	fcview -summary top.view.json
+//	fcview -compare top.view.json firefox.view.json
+//	fcview -union -o union.view.json a.view.json b.view.json ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"facechange/internal/kernel"
+	"facechange/internal/kview"
+	"facechange/internal/profiler"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fcview:", err)
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*kview.View, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	v, err := kview.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return v, nil
+}
+
+func run() error {
+	var (
+		summary = flag.Bool("summary", false, "summarize one view (per-space and per-subsystem)")
+		compare = flag.Bool("compare", false, "compare two views (overlap + similarity index)")
+		union   = flag.Bool("union", false, "merge views into one")
+		out     = flag.String("o", "union.view.json", "output file for -union")
+	)
+	flag.Parse()
+	args := flag.Args()
+
+	switch {
+	case *summary:
+		if len(args) != 1 {
+			return fmt.Errorf("-summary needs exactly one view file")
+		}
+		v, err := load(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Print(v.Summary())
+		// Coverage against the (deterministic) generated kernel.
+		k, err := kernel.New(kernel.Config{})
+		if err != nil {
+			return err
+		}
+		for _, name := range moduleSpaces(v) {
+			if _, err := k.LoadModule(name); err != nil {
+				return fmt.Errorf("loading module %q for symbolization: %w", name, err)
+			}
+		}
+		fmt.Println()
+		fmt.Print(profiler.CoverageReport(v, k.Syms, k.Modules()))
+		return nil
+
+	case *compare:
+		if len(args) != 2 {
+			return fmt.Errorf("-compare needs exactly two view files")
+		}
+		a, err := load(args[0])
+		if err != nil {
+			return err
+		}
+		b, err := load(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %8d KB in %d ranges\n", a.App, a.Size()/1024, a.Len())
+		fmt.Printf("%-12s %8d KB in %d ranges\n", b.App, b.Size()/1024, b.Len())
+		fmt.Printf("overlap      %8d KB\n", kview.OverlapSize(a, b)/1024)
+		fmt.Printf("similarity   %8.1f%%  (Equation 1)\n", 100*kview.Similarity(a, b))
+		onlyA := kview.SubtractViews(a, b)
+		onlyB := kview.SubtractViews(b, a)
+		fmt.Printf("only %-8s %8d KB\n", a.App, onlyA.Size()/1024)
+		fmt.Printf("only %-8s %8d KB\n", b.App, onlyB.Size()/1024)
+		return nil
+
+	case *union:
+		if len(args) < 2 {
+			return fmt.Errorf("-union needs at least two view files")
+		}
+		var views []*kview.View
+		for _, p := range args {
+			v, err := load(p)
+			if err != nil {
+				return err
+			}
+			views = append(views, v)
+		}
+		u := kview.UnionViews("union", views...)
+		data, err := u.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("union of %d views: %d KB → %s\n", len(views), u.Size()/1024, *out)
+		return nil
+
+	default:
+		flag.Usage()
+		return fmt.Errorf("pick -summary, -compare or -union")
+	}
+}
+
+func moduleSpaces(v *kview.View) []string {
+	var out []string
+	for _, s := range v.SpaceNames() {
+		if s != kview.BaseKernel {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+// Attack provenance: reproduces the recovery logs of Figure 4 (Injectso's
+// UDP server payload inside top) and Figure 5 (the KBeast rootkit's
+// keystroke sniffer observed through bash's kernel view, with the hidden
+// module's code showing up as UNKNOWN in the backtraces).
+//
+// Run with: go run ./examples/attack-provenance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"facechange"
+	"facechange/internal/apps"
+	"facechange/internal/kernel"
+	"facechange/internal/malware"
+)
+
+func main() {
+	log.SetFlags(0)
+	showAttack("Injectso", "Figure 4: Injectso's UDP-server payload inside top")
+	showAttack("KBeast", "Figure 5: KBeast keystroke sniffer via bash's kernel view")
+}
+
+func showAttack(name, title string) {
+	attack, ok := malware.ByName(name)
+	if !ok {
+		log.Fatalf("no attack %s", name)
+	}
+	app, _ := apps.ByName(attack.Victim)
+	view, err := facechange.Profile(app, facechange.ProfileConfig{Syscalls: 400})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := facechange.NewVM(facechange.VMConfig{
+		Modules:      attack.RequiredModules(),
+		ExtraModules: attack.ExtraModules(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if attack.IsRootkit() {
+		// Case study IV: the rootkit is installed (and hides itself)
+		// before FACE-CHANGE allocates the kernel view.
+		if err := attack.InstallRootkit(vm.Kernel); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := vm.LoadView(view); err != nil {
+		log.Fatal(err)
+	}
+	vm.Runtime.Enable()
+	victim, err := attack.Launch(vm.Kernel, 1, 260)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vm.Run(10_000_000_000, func() bool { return victim.State == kernel.TaskDead }); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("==== %s ====\n", title)
+	fmt.Printf("victim %s under kernel[%s]; %d recoveries\n\n", attack.Victim, view.App, vm.Runtime.Recoveries)
+	for _, ev := range vm.Runtime.Log() {
+		if ev.Interrupt {
+			continue // benign interrupt-context recoveries are not the story here
+		}
+		fmt.Print(ev.String())
+	}
+	fmt.Println()
+}

@@ -1,0 +1,75 @@
+// Quickstart: the smallest end-to-end FACE-CHANGE flow.
+//
+//  1. Profile the `top` workload in a QEMU-environment session to build its
+//     kernel view (Section III-A).
+//  2. Boot a KVM-environment guest, hot-plug the view and enforce it.
+//  3. Run the same workload — only benign recoveries occur (robustness).
+//  4. Inject the Injectso UDP-server payload — the out-of-view kernel code
+//     it requests is recovered and logged (strictness + provenance).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"facechange"
+	"facechange/internal/apps"
+	"facechange/internal/kernel"
+	"facechange/internal/malware"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	app, _ := apps.ByName("top")
+	fmt.Println("== profiling phase (QEMU environment, TSC clocksource) ==")
+	view, err := facechange.Profile(app, facechange.ProfileConfig{Syscalls: 400})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel view for %q: %d KB of kernel code in %d ranges\n\n",
+		view.App, view.Size()/1024, view.Len())
+
+	fmt.Println("== runtime phase, clean run (KVM environment, kvmclock) ==")
+	vm, err := facechange.NewVM(facechange.VMConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := vm.LoadView(view); err != nil {
+		log.Fatal(err)
+	}
+	vm.Runtime.Enable()
+	task := vm.StartApp(app, 1, 400)
+	if err := vm.Run(10_000_000_000, func() bool { return task.State == kernel.TaskDead }); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d view switches, %d recoveries — all benign:\n",
+		vm.Runtime.ViewSwitches, vm.Runtime.Recoveries)
+	for _, ev := range vm.Runtime.Log() {
+		fmt.Printf("  %s (environment/interrupt induced)\n", ev.Fn)
+	}
+
+	fmt.Println("\n== runtime phase, Injectso attack (case study I) ==")
+	vm2, err := facechange.NewVM(facechange.VMConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := vm2.LoadView(view); err != nil {
+		log.Fatal(err)
+	}
+	vm2.Runtime.Enable()
+	attack, _ := malware.ByName("Injectso")
+	victim, err := attack.Launch(vm2.Kernel, 1, 400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := vm2.Run(10_000_000_000, func() bool { return victim.State == kernel.TaskDead }); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("the parasite UDP server reached kernel code outside top's view:")
+	for _, ev := range vm2.Runtime.Log() {
+		fmt.Printf("  recovered %s\n", ev.Fn)
+	}
+}

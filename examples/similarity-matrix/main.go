@@ -1,0 +1,52 @@
+// Similarity matrix: reproduces the Section II quantitative study and
+// Table I — profile the twelve applications in independent sessions,
+// compute SIZE(K), pairwise overlaps and the similarity index of
+// Equation (1), and print the matrix in the paper's layout.
+//
+// Run with: go run ./examples/similarity-matrix
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"facechange"
+	"facechange/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("profiling 12 applications in independent sessions...")
+	tab, err := eval.RunTable1(facechange.ProfileConfig{Syscalls: 400})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(tab.Format())
+
+	union := tab.UnionView()
+	fmt.Printf("\nunion (system-wide minimized) view: %d KB — vs. per-app views of %d–%d KB\n",
+		union.Size()/1024, minSize(tab)/1024, maxSize(tab)/1024)
+	fmt.Println("→ every application carries attack surface it never needs; " +
+		"per-application views remove it (Section II's motivation).")
+}
+
+func minSize(t *eval.Table1) uint64 {
+	m := ^uint64(0)
+	for _, s := range t.Size {
+		if s < m {
+			m = s
+		}
+	}
+	return m
+}
+
+func maxSize(t *eval.Table1) uint64 {
+	var m uint64
+	for _, s := range t.Size {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}

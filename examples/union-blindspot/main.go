@@ -1,0 +1,84 @@
+// Union blind spot: reproduces the paper's central security argument
+// (Sections II-A and IV-A2) — system-wide kernel minimization (a "union"
+// view covering every application) misses attacks whose payload uses
+// kernel code that *some other* application legitimately needs, while
+// per-application views catch them.
+//
+// The scenario is case study I: top is compromised with a UDP-server
+// backdoor. Network applications (firefox et al.) require the UDP code, so
+// the union view contains it and the attack runs silently; top's own view
+// does not, and every payload system call leaves recovery-log evidence.
+//
+// Run with: go run ./examples/union-blindspot
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"facechange"
+	"facechange/internal/eval"
+	"facechange/internal/kernel"
+	"facechange/internal/kview"
+	"facechange/internal/malware"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("profiling all 12 applications to build the union (system-wide minimized) view...")
+	tab, err := eval.RunTable1(facechange.ProfileConfig{Syscalls: 400})
+	if err != nil {
+		log.Fatal(err)
+	}
+	union := tab.UnionView()
+	topView := tab.Views["top"]
+	fmt.Printf("  union view: %d KB    top's view: %d KB\n\n", union.Size()/1024, topView.Size()/1024)
+
+	attack, _ := malware.ByName("Injectso")
+	run := func(view *kview.View, label string) int {
+		vm, err := facechange.NewVM(facechange.VMConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		idx, err := vm.LoadView(view)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := vm.Runtime.AssignView("top", idx); err != nil {
+			log.Fatal(err)
+		}
+		vm.Runtime.Enable()
+		victim, err := attack.Launch(vm.Kernel, 1, 200)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := vm.Run(10_000_000_000, func() bool { return victim.State == kernel.TaskDead }); err != nil {
+			log.Fatal(err)
+		}
+		n := 0
+		fmt.Printf("== %s ==\n", label)
+		for _, ev := range vm.Runtime.Log() {
+			if ev.Interrupt || strings.HasPrefix(ev.Fn, "kvm_clock") ||
+				strings.HasPrefix(ev.Fn, "pvclock") {
+				continue // benign: interrupt context / clocksource divergence
+			}
+			fmt.Printf("  recovered %s\n", ev.Fn)
+			n++
+		}
+		if n == 0 {
+			fmt.Println("  (no recoveries — the attack ran inside the minimized kernel)")
+		}
+		fmt.Println()
+		return n
+	}
+
+	perApp := run(topView, "Injectso under top's per-application view")
+	global := run(union, "Injectso under the union (system-wide minimized) view")
+
+	fmt.Printf("per-application view: %d pieces of evidence; union view: %d.\n", perApp, global)
+	fmt.Println("system-wide minimization leaves the UDP server inside its attack surface —")
+	fmt.Println("\"the compromised top may be implanted with a parasite network server as a")
+	fmt.Println("backdoor without violating the minimized kernel's constraint\" (Section I).")
+}

@@ -1,0 +1,3 @@
+module facechange
+
+go 1.22

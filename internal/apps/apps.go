@@ -1,0 +1,515 @@
+// Package apps defines the twelve application workloads of the paper's
+// evaluation (Table I): deterministic system-call scripts that drive each
+// application's characteristic kernel subsystems, the way the paper's test
+// suites drive the real programs (e.g. RUBiS against mysql, httperf
+// against Apache, simulated interactive I/O for editors).
+//
+// Every generator is seeded and deterministic. A script consists of a
+// startup preamble shared by all dynamically linked programs (opening and
+// mapping libraries, registering signal handlers) — which is why the ext4
+// read path and mm basics appear in every view — followed by a
+// deterministic coverage pass over the application's operation set and a
+// weighted steady-state mix.
+package apps
+
+import (
+	"math/rand"
+
+	"facechange/internal/kernel"
+)
+
+// App describes one profiled application.
+type App struct {
+	// Name is the guest comm (matches Table I).
+	Name string
+	// Modules lists kernel modules the app's machine must have loaded.
+	Modules []string
+	// Interactive marks applications driven by keyboard input; their
+	// profiling sessions deliver keyboard interrupts.
+	Interactive bool
+	// ops is the app's steady-state operation mix.
+	ops []op
+}
+
+// op is one weighted operation template.
+type op struct {
+	weight int
+	make   func(r *rand.Rand) kernel.Syscall
+}
+
+func lit(weight int, s kernel.Syscall) op {
+	return op{weight: weight, make: func(*rand.Rand) kernel.Syscall { return s }}
+}
+
+// Script builds the app's workload script: preamble, one coverage pass,
+// then an endless weighted mix. Wrap with Limit for finite sessions.
+func (a App) Script(seed int64) kernel.Script {
+	r := rand.New(rand.NewSource(seed))
+	pre := startupPreamble()
+	cover := make([]kernel.Syscall, 0, len(a.ops))
+	for _, o := range a.ops {
+		cover = append(cover, o.make(r))
+	}
+	fixed := append(pre, cover...)
+	total := 0
+	for _, o := range a.ops {
+		total += o.weight
+	}
+	i := 0
+	return kernel.FuncScript(func() (kernel.Syscall, bool) {
+		if i < len(fixed) {
+			c := fixed[i]
+			i++
+			return c, true
+		}
+		n := r.Intn(total)
+		for _, o := range a.ops {
+			n -= o.weight
+			if n < 0 {
+				return o.make(r), true
+			}
+		}
+		return a.ops[len(a.ops)-1].make(r), true
+	})
+}
+
+// DefaultSignalScript returns the signal-handler behaviour of a normal
+// application: the handler body runs in user space and returns to the
+// kernel with sigreturn.
+func DefaultSignalScript() kernel.Script {
+	return kernel.FuncScript(func() (kernel.Syscall, bool) {
+		return kernel.Syscall{Nr: kernel.SysRtSigreturn}, true
+	})
+}
+
+// Limit caps a script at n system calls, then exits.
+func Limit(s kernel.Script, n int) kernel.Script {
+	left := n
+	return kernel.FuncScript(func() (kernel.Syscall, bool) {
+		if left <= 0 {
+			return kernel.Syscall{}, false
+		}
+		left--
+		return s.Next()
+	})
+}
+
+// startupPreamble models a dynamically linked program's startup: library
+// opens/stats/reads/maps, heap setup and signal handler registration.
+func startupPreamble() []kernel.Syscall {
+	return []kernel.Syscall{
+		{Nr: kernel.SysBrk},
+		{Nr: kernel.SysOpen, File: kernel.FileExt4},
+		{Nr: kernel.SysStat, File: kernel.FileExt4},
+		{Nr: kernel.SysRead, File: kernel.FileExt4},
+		{Nr: kernel.SysMmap},
+		{Nr: kernel.SysOpen, File: kernel.FileExt4},
+		{Nr: kernel.SysRead, File: kernel.FileExt4, Blocks: 1}, // cold page cache
+		{Nr: kernel.SysMmap},
+		{Nr: kernel.SysClose, File: kernel.FileExt4},
+		{Nr: kernel.SysBrk},
+		{Nr: kernel.SysRtSigaction},
+		{Nr: kernel.SysFcntl},
+		{Nr: kernel.SysGetpid},
+		{Nr: kernel.SysGettimeofday},
+		{Nr: kernel.SysMunmap},
+		{Nr: kernel.SysClose},
+	}
+}
+
+// shellChild is the script of a short-lived forked child that execs an
+// ls-like program (covering the fork → execve → exit lifecycle).
+func shellChild() *kernel.TaskSpec {
+	return &kernel.TaskSpec{
+		Name: "child",
+		Script: &kernel.SliceScript{Calls: []kernel.Syscall{
+			{Nr: kernel.SysDup2},
+			{Nr: kernel.SysExecve, Spawn: &kernel.TaskSpec{
+				Name: "ls",
+				Script: &kernel.SliceScript{Calls: []kernel.Syscall{
+					{Nr: kernel.SysOpen, File: kernel.FileExt4},
+					{Nr: kernel.SysGetdents, File: kernel.FileExt4},
+					{Nr: kernel.SysWrite, File: kernel.FileTTY},
+					{Nr: kernel.SysExit},
+				}},
+			}},
+		}},
+	}
+}
+
+// workerChild is the script of a server worker process.
+func workerChild() *kernel.TaskSpec {
+	return &kernel.TaskSpec{
+		Name: "worker",
+		Script: &kernel.SliceScript{Calls: []kernel.Syscall{
+			{Nr: kernel.SysRead, File: kernel.FileSocketFD, Sock: kernel.SockTCP, Blocks: 1},
+			{Nr: kernel.SysWrite, File: kernel.FileSocketFD, Sock: kernel.SockTCP},
+			{Nr: kernel.SysExit},
+		}},
+	}
+}
+
+func forkOp(weight int, child func() *kernel.TaskSpec) op {
+	return op{weight: weight, make: func(*rand.Rand) kernel.Syscall {
+		return kernel.Syscall{Nr: kernel.SysFork, Spawn: child()}
+	}}
+}
+
+// Catalog returns the twelve applications in Table I order.
+func Catalog() []App {
+	return []App{
+		firefox(), totem(), gvim(), apache(), vsftpd(), top(),
+		tcpdump(), mysqld(), bash(), sshd(), gzip(), eog(),
+	}
+}
+
+// ByName returns a catalog application.
+func ByName(name string) (App, bool) {
+	for _, a := range Catalog() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+func firefox() App {
+	return App{
+		Name: "firefox",
+		ops: []op{
+			lit(8, kernel.Syscall{Nr: kernel.SysSocket, Sock: kernel.SockTCP}),
+			lit(8, kernel.Syscall{Nr: kernel.SysConnect, Sock: kernel.SockTCP, Blocks: 1}),
+			lit(10, kernel.Syscall{Nr: kernel.SysSendto, Sock: kernel.SockTCP}),
+			lit(10, kernel.Syscall{Nr: kernel.SysRecvfrom, Sock: kernel.SockTCP, Blocks: 1}),
+			lit(6, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileSocketFD, Sock: kernel.SockTCP, Blocks: 1}),
+			lit(6, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FileSocketFD, Sock: kernel.SockTCP}),
+			// DNS over UDP, plus mDNS/WebRTC sockets that bind.
+			lit(4, kernel.Syscall{Nr: kernel.SysSocket, Sock: kernel.SockUDP}),
+			lit(3, kernel.Syscall{Nr: kernel.SysBind, Sock: kernel.SockUDP}),
+			lit(4, kernel.Syscall{Nr: kernel.SysSendto, Sock: kernel.SockUDP}),
+			lit(4, kernel.Syscall{Nr: kernel.SysRecvfrom, Sock: kernel.SockUDP, Blocks: 1}),
+			// X / IPC.
+			lit(5, kernel.Syscall{Nr: kernel.SysSocket, Sock: kernel.SockUnix}),
+			lit(5, kernel.Syscall{Nr: kernel.SysConnect, Sock: kernel.SockUnix}),
+			lit(6, kernel.Syscall{Nr: kernel.SysSendto, Sock: kernel.SockUnix}),
+			lit(6, kernel.Syscall{Nr: kernel.SysRecvfrom, Sock: kernel.SockUnix, Blocks: 1}),
+			// Cache and profile files.
+			lit(6, kernel.Syscall{Nr: kernel.SysOpen, File: kernel.FileExt4}),
+			lit(8, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileExt4, UserWork: 20000}),
+			lit(6, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FileExt4, Journal: true}),
+			lit(3, kernel.Syscall{Nr: kernel.SysFsync, File: kernel.FileExt4}),
+			lit(4, kernel.Syscall{Nr: kernel.SysGetdents, File: kernel.FileExt4}),
+			// Event loop.
+			lit(10, kernel.Syscall{Nr: kernel.SysPoll, File: kernel.FileSocketFD, Sock: kernel.SockTCP, Blocks: 1}),
+			lit(5, kernel.Syscall{Nr: kernel.SysEpollCreate}),
+			lit(8, kernel.Syscall{Nr: kernel.SysEpollWait, File: kernel.FileSocketFD, Sock: kernel.SockTCP, Blocks: 1}),
+			lit(8, kernel.Syscall{Nr: kernel.SysFutex, Blocks: 1, UserWork: 15000}),
+			lit(4, kernel.Syscall{Nr: kernel.SysPipe}),
+			lit(4, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FilePipe, Blocks: 1}),
+			lit(4, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FilePipe}),
+			lit(3, kernel.Syscall{Nr: kernel.SysInotifyInit}),
+			lit(3, kernel.Syscall{Nr: kernel.SysInotifyAdd}),
+			lit(4, kernel.Syscall{Nr: kernel.SysMmap, Rare: true}),
+			lit(3, kernel.Syscall{Nr: kernel.SysMprotect, Rare: true}),
+			lit(3, kernel.Syscall{Nr: kernel.SysSetitimer}),
+			lit(2, kernel.Syscall{Nr: kernel.SysKill}),
+			// Plugin-container and helper processes.
+			forkOp(3, shellChild),
+			lit(3, kernel.Syscall{Nr: kernel.SysWaitpid, Blocks: 1}),
+			lit(3, kernel.Syscall{Nr: kernel.SysClone, Spawn: nil}),
+		},
+	}
+}
+
+func totem() App {
+	return App{
+		Name:    "totem",
+		Modules: []string{"snd"},
+		ops: []op{
+			// Media file streaming.
+			lit(8, kernel.Syscall{Nr: kernel.SysOpen, File: kernel.FileExt4}),
+			lit(14, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileExt4, Blocks: 1, UserWork: 30000}),
+			lit(6, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileExt4, Rare: true}),
+			// Audio output through the snd module.
+			lit(6, kernel.Syscall{Nr: kernel.SysOpen, File: kernel.FileSound}),
+			lit(10, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FileSound, Blocks: 1}),
+			lit(6, kernel.Syscall{Nr: kernel.SysIoctl, File: kernel.FileSound}),
+			// X / IPC.
+			lit(6, kernel.Syscall{Nr: kernel.SysSocket, Sock: kernel.SockUnix}),
+			lit(5, kernel.Syscall{Nr: kernel.SysConnect, Sock: kernel.SockUnix}),
+			lit(6, kernel.Syscall{Nr: kernel.SysSendto, Sock: kernel.SockUnix}),
+			lit(6, kernel.Syscall{Nr: kernel.SysRecvfrom, Sock: kernel.SockUnix, Blocks: 1}),
+			lit(8, kernel.Syscall{Nr: kernel.SysPoll, File: kernel.FilePipe, Blocks: 1}),
+			lit(6, kernel.Syscall{Nr: kernel.SysFutex, Blocks: 1, UserWork: 20000}),
+			lit(4, kernel.Syscall{Nr: kernel.SysPipe}),
+			lit(4, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FilePipe}),
+			lit(3, kernel.Syscall{Nr: kernel.SysInotifyInit}),
+			lit(4, kernel.Syscall{Nr: kernel.SysMmap, Rare: true}),
+			lit(3, kernel.Syscall{Nr: kernel.SysNanosleep, Blocks: 1}),
+			lit(2, kernel.Syscall{Nr: kernel.SysSetitimer}),
+		},
+	}
+}
+
+func gvim() App {
+	// gvim is the GUI build: user input arrives as X events over the unix
+	// socket, not through a tty — which is why case study III's register-
+	// dumping payload (writing to the terminal) recovers "numerous TTY
+	// kernel functions which are not included in gvim's kernel view".
+	return App{
+		Name: "gvim",
+		ops: []op{
+			lit(12, kernel.Syscall{Nr: kernel.SysRecvfrom, Sock: kernel.SockUnix, Blocks: 1}),
+			lit(10, kernel.Syscall{Nr: kernel.SysSendto, Sock: kernel.SockUnix}),
+			lit(6, kernel.Syscall{Nr: kernel.SysOpen, File: kernel.FileExt4}),
+			lit(8, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileExt4, UserWork: 10000}),
+			lit(8, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FileExt4, Journal: true}),
+			lit(3, kernel.Syscall{Nr: kernel.SysFsync, File: kernel.FileExt4}),
+			lit(3, kernel.Syscall{Nr: kernel.SysUnlink, File: kernel.FileExt4}),
+			lit(4, kernel.Syscall{Nr: kernel.SysGetdents, File: kernel.FileExt4}),
+			lit(4, kernel.Syscall{Nr: kernel.SysStat, File: kernel.FileExt4}),
+			// GUI vim talks to X over a unix socket.
+			lit(5, kernel.Syscall{Nr: kernel.SysSocket, Sock: kernel.SockUnix}),
+			lit(4, kernel.Syscall{Nr: kernel.SysConnect, Sock: kernel.SockUnix}),
+			lit(8, kernel.Syscall{Nr: kernel.SysSelect, File: kernel.FileSocketFD, Sock: kernel.SockUnix, Blocks: 1}),
+			lit(3, kernel.Syscall{Nr: kernel.SysInotifyInit}),
+			lit(3, kernel.Syscall{Nr: kernel.SysInotifyAdd}),
+			forkOp(2, shellChild),
+			lit(2, kernel.Syscall{Nr: kernel.SysWaitpid, Blocks: 1}),
+			lit(3, kernel.Syscall{Nr: kernel.SysMmap, Rare: true}),
+		},
+	}
+}
+
+func apache() App {
+	return App{
+		Name: "apache",
+		ops: []op{
+			lit(5, kernel.Syscall{Nr: kernel.SysSocket, Sock: kernel.SockTCP}),
+			lit(3, kernel.Syscall{Nr: kernel.SysBind, Sock: kernel.SockTCP}),
+			lit(3, kernel.Syscall{Nr: kernel.SysListen, Sock: kernel.SockTCP}),
+			lit(4, kernel.Syscall{Nr: kernel.SysSetsockopt, Sock: kernel.SockTCP}),
+			lit(12, kernel.Syscall{Nr: kernel.SysAccept, Sock: kernel.SockTCP, Blocks: 1}),
+			lit(10, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileSocketFD, Sock: kernel.SockTCP, Blocks: 1}),
+			lit(12, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FileSocketFD, Sock: kernel.SockTCP, UserWork: 8000}),
+			lit(5, kernel.Syscall{Nr: kernel.SysShutdown, Sock: kernel.SockTCP}),
+			lit(8, kernel.Syscall{Nr: kernel.SysSendfile, File: kernel.FileExt4}),
+			lit(6, kernel.Syscall{Nr: kernel.SysOpen, File: kernel.FileExt4}),
+			lit(8, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileExt4}),
+			lit(6, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FileExt4, Journal: true}), // access log
+			lit(4, kernel.Syscall{Nr: kernel.SysStat, File: kernel.FileExt4}),
+			lit(10, kernel.Syscall{Nr: kernel.SysPoll, File: kernel.FileSocketFD, Sock: kernel.SockTCP, Blocks: 1}),
+			lit(4, kernel.Syscall{Nr: kernel.SysPipe}),
+			lit(4, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FilePipe}),
+			forkOp(3, workerChild),
+			lit(3, kernel.Syscall{Nr: kernel.SysWaitpid, Blocks: 1}),
+			lit(2, kernel.Syscall{Nr: kernel.SysKill}),
+			lit(2, kernel.Syscall{Nr: kernel.SysSetitimer}),
+		},
+	}
+}
+
+func vsftpd() App {
+	return App{
+		Name: "vsftpd",
+		ops: []op{
+			lit(5, kernel.Syscall{Nr: kernel.SysSocket, Sock: kernel.SockTCP}),
+			lit(3, kernel.Syscall{Nr: kernel.SysBind, Sock: kernel.SockTCP}),
+			lit(3, kernel.Syscall{Nr: kernel.SysListen, Sock: kernel.SockTCP}),
+			lit(4, kernel.Syscall{Nr: kernel.SysSetsockopt, Sock: kernel.SockTCP}),
+			lit(12, kernel.Syscall{Nr: kernel.SysAccept, Sock: kernel.SockTCP, Blocks: 1}),
+			lit(10, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileSocketFD, Sock: kernel.SockTCP, Blocks: 1}),
+			lit(12, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FileSocketFD, Sock: kernel.SockTCP}),
+			lit(5, kernel.Syscall{Nr: kernel.SysShutdown, Sock: kernel.SockTCP}),
+			// File transfers: reads, uploads with journal + fsync, deletes,
+			// directory listings.
+			lit(8, kernel.Syscall{Nr: kernel.SysOpen, File: kernel.FileExt4}),
+			lit(10, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileExt4, Blocks: 1}),
+			lit(10, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FileExt4, Journal: true}),
+			lit(5, kernel.Syscall{Nr: kernel.SysFsync, File: kernel.FileExt4}),
+			lit(4, kernel.Syscall{Nr: kernel.SysUnlink, File: kernel.FileExt4}),
+			lit(6, kernel.Syscall{Nr: kernel.SysGetdents, File: kernel.FileExt4}),
+			lit(5, kernel.Syscall{Nr: kernel.SysStat, File: kernel.FileExt4}),
+			lit(8, kernel.Syscall{Nr: kernel.SysSelect, File: kernel.FileSocketFD, Sock: kernel.SockTCP, Blocks: 1}),
+			forkOp(3, workerChild),
+			lit(3, kernel.Syscall{Nr: kernel.SysWaitpid, Blocks: 1}),
+			lit(2, kernel.Syscall{Nr: kernel.SysRtSigaction}),
+		},
+	}
+}
+
+func top() App {
+	return App{
+		Name:        "top",
+		Interactive: true,
+		ops: []op{
+			lit(10, kernel.Syscall{Nr: kernel.SysOpen, File: kernel.FileProcfs}),
+			lit(16, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileProcfs, UserWork: 12000}),
+			lit(6, kernel.Syscall{Nr: kernel.SysGetdents, File: kernel.FileProcfs}),
+			lit(5, kernel.Syscall{Nr: kernel.SysSysinfo}),
+			lit(4, kernel.Syscall{Nr: kernel.SysStat, File: kernel.FileProcfs}),
+			lit(12, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FileTTY}),
+			lit(4, kernel.Syscall{Nr: kernel.SysIoctl, File: kernel.FileTTY}),
+			lit(4, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileTTY, Blocks: 1}),
+			lit(8, kernel.Syscall{Nr: kernel.SysNanosleep, Blocks: 1}),
+			lit(4, kernel.Syscall{Nr: kernel.SysClose}),
+			lit(3, kernel.Syscall{Nr: kernel.SysGettimeofday}),
+		},
+	}
+}
+
+func tcpdump() App {
+	return App{
+		Name:    "tcpdump",
+		Modules: []string{"af_packet"},
+		ops: []op{
+			lit(4, kernel.Syscall{Nr: kernel.SysSocket, Sock: kernel.SockPacket}),
+			lit(3, kernel.Syscall{Nr: kernel.SysBind, Sock: kernel.SockPacket}),
+			lit(3, kernel.Syscall{Nr: kernel.SysSetsockopt, Sock: kernel.SockPacket}),
+			lit(20, kernel.Syscall{Nr: kernel.SysRecvfrom, Sock: kernel.SockPacket, Blocks: 1, UserWork: 6000}),
+			lit(8, kernel.Syscall{Nr: kernel.SysPoll, File: kernel.FileSocketFD, Sock: kernel.SockPacket, Blocks: 1}),
+			lit(12, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FileTTY}),
+			lit(3, kernel.Syscall{Nr: kernel.SysIoctl, File: kernel.FileTTY}),
+			lit(3, kernel.Syscall{Nr: kernel.SysStat, File: kernel.FileExt4}),
+			lit(2, kernel.Syscall{Nr: kernel.SysGettimeofday}),
+		},
+	}
+}
+
+func mysqld() App {
+	return App{
+		Name: "mysqld",
+		ops: []op{
+			// Local clients over unix sockets, replication over TCP.
+			lit(5, kernel.Syscall{Nr: kernel.SysSocket, Sock: kernel.SockUnix}),
+			lit(4, kernel.Syscall{Nr: kernel.SysBind, Sock: kernel.SockUnix}),
+			lit(4, kernel.Syscall{Nr: kernel.SysListen, Sock: kernel.SockUnix}),
+			lit(8, kernel.Syscall{Nr: kernel.SysAccept, Sock: kernel.SockUnix, Blocks: 1}),
+			lit(8, kernel.Syscall{Nr: kernel.SysRecvfrom, Sock: kernel.SockUnix, Blocks: 1}),
+			lit(8, kernel.Syscall{Nr: kernel.SysSendto, Sock: kernel.SockUnix}),
+			lit(4, kernel.Syscall{Nr: kernel.SysSocket, Sock: kernel.SockTCP}),
+			lit(4, kernel.Syscall{Nr: kernel.SysConnect, Sock: kernel.SockTCP, Blocks: 1}),
+			lit(5, kernel.Syscall{Nr: kernel.SysSendto, Sock: kernel.SockTCP}),
+			lit(5, kernel.Syscall{Nr: kernel.SysRecvfrom, Sock: kernel.SockTCP, Blocks: 1}),
+			// Table and log I/O, transactional.
+			lit(8, kernel.Syscall{Nr: kernel.SysOpen, File: kernel.FileExt4}),
+			lit(12, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileExt4, Blocks: 1, UserWork: 20000}),
+			lit(12, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FileExt4, Journal: true, UserWork: 15000}),
+			lit(6, kernel.Syscall{Nr: kernel.SysFsync, File: kernel.FileExt4}),
+			lit(10, kernel.Syscall{Nr: kernel.SysFutex, Blocks: 1, UserWork: 10000}),
+			lit(8, kernel.Syscall{Nr: kernel.SysPoll, File: kernel.FileSocketFD, Sock: kernel.SockUnix, Blocks: 1}),
+			lit(4, kernel.Syscall{Nr: kernel.SysMmap, Rare: true}),
+			lit(3, kernel.Syscall{Nr: kernel.SysNanosleep, Blocks: 1}),
+			lit(2, kernel.Syscall{Nr: kernel.SysSetitimer}),
+		},
+	}
+}
+
+func bash() App {
+	return App{
+		Name:        "bash",
+		Interactive: true,
+		ops: []op{
+			lit(16, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileTTY, Blocks: 1}),
+			lit(12, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FileTTY}),
+			lit(5, kernel.Syscall{Nr: kernel.SysIoctl, File: kernel.FileTTY}),
+			forkOp(8, shellChild),
+			lit(8, kernel.Syscall{Nr: kernel.SysWaitpid, Blocks: 1}),
+			lit(5, kernel.Syscall{Nr: kernel.SysPipe}),
+			lit(5, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FilePipe, Blocks: 1}),
+			lit(5, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FilePipe}),
+			lit(4, kernel.Syscall{Nr: kernel.SysDup2}),
+			lit(5, kernel.Syscall{Nr: kernel.SysOpen, File: kernel.FileExt4}),
+			lit(5, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileExt4}),
+			lit(4, kernel.Syscall{Nr: kernel.SysStat, File: kernel.FileExt4}),
+			lit(4, kernel.Syscall{Nr: kernel.SysGetdents, File: kernel.FileExt4}),
+			lit(3, kernel.Syscall{Nr: kernel.SysKill}),
+			lit(3, kernel.Syscall{Nr: kernel.SysRtSigaction}),
+		},
+	}
+}
+
+func sshd() App {
+	return App{
+		Name:        "sshd",
+		Interactive: true,
+		ops: []op{
+			lit(4, kernel.Syscall{Nr: kernel.SysSocket, Sock: kernel.SockTCP}),
+			lit(3, kernel.Syscall{Nr: kernel.SysBind, Sock: kernel.SockTCP}),
+			lit(3, kernel.Syscall{Nr: kernel.SysListen, Sock: kernel.SockTCP}),
+			lit(8, kernel.Syscall{Nr: kernel.SysAccept, Sock: kernel.SockTCP, Blocks: 1}),
+			lit(10, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileSocketFD, Sock: kernel.SockTCP, Blocks: 1, UserWork: 15000}),
+			lit(10, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FileSocketFD, Sock: kernel.SockTCP, UserWork: 15000}),
+			lit(4, kernel.Syscall{Nr: kernel.SysSetsockopt, Sock: kernel.SockTCP}),
+			// Pseudo-terminal plumbing for sessions.
+			lit(5, kernel.Syscall{Nr: kernel.SysOpen, File: kernel.FileTTY}),
+			lit(6, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileTTY, Blocks: 1}),
+			lit(6, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FileTTY}),
+			lit(3, kernel.Syscall{Nr: kernel.SysIoctl, File: kernel.FileTTY}),
+			forkOp(4, shellChild),
+			lit(4, kernel.Syscall{Nr: kernel.SysWaitpid, Blocks: 1}),
+			// Auth logs, host keys, authorized_keys.
+			lit(5, kernel.Syscall{Nr: kernel.SysOpen, File: kernel.FileExt4}),
+			lit(6, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileExt4}),
+			lit(6, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FileExt4, Journal: true}),
+			lit(3, kernel.Syscall{Nr: kernel.SysStat, File: kernel.FileExt4}),
+			lit(8, kernel.Syscall{Nr: kernel.SysSelect, File: kernel.FileSocketFD, Sock: kernel.SockTCP, Blocks: 1}),
+			// Agent and PAM over unix sockets.
+			lit(4, kernel.Syscall{Nr: kernel.SysSocket, Sock: kernel.SockUnix}),
+			lit(4, kernel.Syscall{Nr: kernel.SysConnect, Sock: kernel.SockUnix}),
+			lit(4, kernel.Syscall{Nr: kernel.SysSendto, Sock: kernel.SockUnix}),
+			lit(3, kernel.Syscall{Nr: kernel.SysRtSigaction}),
+			lit(3, kernel.Syscall{Nr: kernel.SysMmap, Rare: true}),
+		},
+	}
+}
+
+func gzip() App {
+	return App{
+		Name: "gzip",
+		ops: []op{
+			lit(8, kernel.Syscall{Nr: kernel.SysOpen, File: kernel.FileExt4}),
+			lit(20, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileExt4, Blocks: 1, UserWork: 60000}),
+			lit(16, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FileExt4, Journal: true, UserWork: 30000}),
+			lit(4, kernel.Syscall{Nr: kernel.SysBrk}),
+			lit(3, kernel.Syscall{Nr: kernel.SysStat, File: kernel.FileExt4}),
+			lit(3, kernel.Syscall{Nr: kernel.SysUnlink, File: kernel.FileExt4}),
+			lit(2, kernel.Syscall{Nr: kernel.SysFsync, File: kernel.FileExt4}),
+			lit(3, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FilePipe, Blocks: 1}),
+			lit(3, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FilePipe}),
+			// gzip -v progress on the terminal, and mmapped I/O for large
+			// inputs.
+			lit(4, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FileTTY}),
+			lit(3, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileExt4, Rare: true}),
+			lit(4, kernel.Syscall{Nr: kernel.SysMmap, Rare: true}),
+			lit(3, kernel.Syscall{Nr: kernel.SysMunmap, Rare: true}),
+			lit(2, kernel.Syscall{Nr: kernel.SysClose}),
+		},
+	}
+}
+
+func eog() App {
+	return App{
+		Name: "eog",
+		ops: []op{
+			lit(8, kernel.Syscall{Nr: kernel.SysOpen, File: kernel.FileExt4}),
+			lit(16, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileExt4, Blocks: 1, UserWork: 40000}),
+			lit(5, kernel.Syscall{Nr: kernel.SysRead, File: kernel.FileExt4, Rare: true}),
+			lit(5, kernel.Syscall{Nr: kernel.SysGetdents, File: kernel.FileExt4}),
+			lit(4, kernel.Syscall{Nr: kernel.SysStat, File: kernel.FileExt4}),
+			// X / IPC.
+			lit(6, kernel.Syscall{Nr: kernel.SysSocket, Sock: kernel.SockUnix}),
+			lit(5, kernel.Syscall{Nr: kernel.SysConnect, Sock: kernel.SockUnix}),
+			lit(6, kernel.Syscall{Nr: kernel.SysSendto, Sock: kernel.SockUnix}),
+			lit(6, kernel.Syscall{Nr: kernel.SysRecvfrom, Sock: kernel.SockUnix, Blocks: 1}),
+			lit(8, kernel.Syscall{Nr: kernel.SysPoll, File: kernel.FilePipe, Blocks: 1}),
+			lit(6, kernel.Syscall{Nr: kernel.SysFutex, Blocks: 1, UserWork: 15000}),
+			lit(4, kernel.Syscall{Nr: kernel.SysPipe}),
+			lit(4, kernel.Syscall{Nr: kernel.SysWrite, File: kernel.FilePipe}),
+			lit(3, kernel.Syscall{Nr: kernel.SysInotifyInit}),
+			lit(3, kernel.Syscall{Nr: kernel.SysInotifyAdd}),
+			lit(5, kernel.Syscall{Nr: kernel.SysMmap, Rare: true}),
+			lit(3, kernel.Syscall{Nr: kernel.SysMunmap, Rare: true}),
+		},
+	}
+}

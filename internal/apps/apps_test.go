@@ -1,0 +1,106 @@
+package apps_test
+
+import (
+	"testing"
+
+	"facechange"
+	"facechange/internal/apps"
+	"facechange/internal/kview"
+)
+
+func TestCatalogTwelveApps(t *testing.T) {
+	cat := apps.Catalog()
+	if len(cat) != 12 {
+		t.Fatalf("catalog has %d apps, want 12 (Table I)", len(cat))
+	}
+	want := []string{"firefox", "totem", "gvim", "apache", "vsftpd", "top",
+		"tcpdump", "mysqld", "bash", "sshd", "gzip", "eog"}
+	for i, name := range want {
+		if cat[i].Name != name {
+			t.Errorf("catalog[%d] = %s, want %s", i, cat[i].Name, name)
+		}
+	}
+	if _, ok := apps.ByName("apache"); !ok {
+		t.Error("ByName(apache) failed")
+	}
+	if _, ok := apps.ByName("nonesuch"); ok {
+		t.Error("ByName(nonesuch) should fail")
+	}
+}
+
+func TestScriptsDeterministic(t *testing.T) {
+	for _, a := range apps.Catalog() {
+		s1, s2 := a.Script(7), a.Script(7)
+		for i := 0; i < 200; i++ {
+			c1, ok1 := s1.Next()
+			c2, ok2 := s2.Next()
+			if ok1 != ok2 || c1.Nr != c2.Nr || c1.File != c2.File || c1.Sock != c2.Sock {
+				t.Fatalf("%s: nondeterministic at call %d", a.Name, i)
+			}
+		}
+	}
+}
+
+func TestLimitStopsScript(t *testing.T) {
+	a, _ := apps.ByName("gzip")
+	s := apps.Limit(a.Script(1), 5)
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+		if n > 10 {
+			t.Fatal("Limit did not stop the script")
+		}
+	}
+	if n != 5 {
+		t.Errorf("Limit yielded %d calls, want 5", n)
+	}
+}
+
+func TestProfileEveryApp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling all twelve apps is slow")
+	}
+	views := map[string]*kview.View{}
+	for _, a := range apps.Catalog() {
+		v, err := facechange.Profile(a, facechange.ProfileConfig{Syscalls: 350})
+		if err != nil {
+			t.Fatalf("profile %s: %v", a.Name, err)
+		}
+		views[a.Name] = v
+		t.Logf("%-8s view: %4d KB in %d ranges", a.Name, v.Size()/1024, v.Len())
+	}
+	// Shape of Table I: firefox has the largest view; top is at the small
+	// end (within the two smallest — gzip and top swap places in this
+	// reproduction, recorded in EXPERIMENTS.md).
+	smallerThanTop := 0
+	for name, v := range views {
+		if name != "firefox" && v.Size() > views["firefox"].Size() {
+			t.Errorf("%s view (%d) larger than firefox (%d)", name, v.Size(), views["firefox"].Size())
+		}
+		if name != "top" && v.Size() < views["top"].Size() {
+			smallerThanTop++
+		}
+	}
+	if smallerThanTop > 1 {
+		t.Errorf("%d views smaller than top; want top among the two smallest", smallerThanTop)
+	}
+	// Similar apps overlap heavily; orthogonal apps do not (Section II).
+	simTopFirefox := kview.Similarity(views["top"], views["firefox"])
+	simEogTotem := kview.Similarity(views["eog"], views["totem"])
+	simApacheVsftpd := kview.Similarity(views["apache"], views["vsftpd"])
+	t.Logf("S(top,firefox)=%.3f S(eog,totem)=%.3f S(apache,vsftpd)=%.3f",
+		simTopFirefox, simEogTotem, simApacheVsftpd)
+	if simTopFirefox >= simEogTotem || simTopFirefox >= simApacheVsftpd {
+		t.Errorf("orthogonal apps should be least similar: top/firefox=%.3f eog/totem=%.3f apache/vsftpd=%.3f",
+			simTopFirefox, simEogTotem, simApacheVsftpd)
+	}
+	if simTopFirefox < 0.15 || simTopFirefox > 0.65 {
+		t.Errorf("S(top,firefox) = %.3f, expected low (paper: 0.336)", simTopFirefox)
+	}
+	if simEogTotem < 0.6 {
+		t.Errorf("S(eog,totem) = %.3f, expected high (paper: 0.865)", simEogTotem)
+	}
+}

@@ -1,0 +1,283 @@
+// Package core implements FACE-CHANGE's runtime phase (Section III-B): the
+// hypervisor component that builds per-application kernel views (shadow
+// copies of the guest's kernel code pages with excluded code replaced by
+// UD2), switches EPT mappings at guest context switches, and recovers
+// missing kernel code — with attack-provenance backtraces — when a process
+// executes outside its view.
+//
+// The runtime is strictly hypervisor-side: it learns about the guest only
+// through VMI reads of guest memory (current task, rq->curr, the module
+// list), a System.map-style symbol table, and the two trap addresses
+// (context_switch, resume_userspace), mirroring the paper's KVM prototype.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"facechange/internal/hv"
+	"facechange/internal/kernel"
+	"facechange/internal/kview"
+	"facechange/internal/mem"
+)
+
+// FullView is the reserved index of the full kernel view (no restriction).
+const FullView = 0
+
+// Options toggle the design choices of Section III-B. The defaults are the
+// paper's configuration; the ablation benchmarks flip them individually.
+type Options struct {
+	// SwitchAtResume defers custom-view switching from the context-switch
+	// trap to the resume-userspace trap, the I/O-preserving optimization
+	// of Section III-B2. Disabled, views switch immediately at
+	// context_switch.
+	SwitchAtResume bool
+	// SameViewElision skips the switch when the previous and next process
+	// use the same kernel view.
+	SameViewElision bool
+	// InstantRecovery recovers callers whose return site misparses as
+	// "0B 0F" during backtraces (Section III-B3). Disabled, such returns
+	// silently corrupt execution.
+	InstantRecovery bool
+	// WholeFunctionLoad expands profiled basic blocks to whole kernel
+	// functions when loading views (Section III-B1's relaxation).
+	// Disabled, only the profiled byte ranges are loaded.
+	WholeFunctionLoad bool
+	// PDGranularSwitch swaps base-kernel views at EPT page-directory
+	// granularity; disabled, every text page is remapped individually.
+	PDGranularSwitch bool
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		SwitchAtResume:    true,
+		SameViewElision:   true,
+		InstantRecovery:   true,
+		WholeFunctionLoad: true,
+		PDGranularSwitch:  true,
+	}
+}
+
+// Setup wires the runtime to a machine.
+type Setup struct {
+	Machine *hv.Machine
+	// Symbols is the guest kernel's System.map equivalent, used for the
+	// two trap addresses and for provenance symbolization.
+	Symbols *kernel.SymbolTable
+	// TextSize is the size of the guest's base kernel code section.
+	TextSize uint32
+	Opts     Options
+}
+
+type cpuViewState struct {
+	active      int
+	last        int
+	resumeArmed bool
+}
+
+// Runtime is the FACE-CHANGE hypervisor component.
+type Runtime struct {
+	m        *hv.Machine
+	syms     *kernel.SymbolTable
+	opts     Options
+	textSize uint32
+
+	kernelAS *mem.AddressSpace
+
+	ctxSwitchAddr uint32
+	resumeAddr    uint32
+
+	views  []*LoadedView // index 0 is the full view (nil)
+	byName map[string]int
+
+	cpus           []*cpuViewState
+	resumeTrapRefs int
+
+	enabled bool
+
+	// irqEntry are the System.map ranges whose presence in a backtrace
+	// marks interrupt context (Section III-B3 case i).
+	irqEntry []kview.Range
+
+	log []Event
+
+	// Counters.
+	Recoveries          uint64
+	InstantRecoveries   uint64
+	InterruptRecoveries uint64
+	ViewSwitches        uint64
+}
+
+// New attaches a FACE-CHANGE runtime to the machine. The runtime starts
+// disabled; call Enable.
+func New(s Setup) (*Runtime, error) {
+	if s.Machine == nil || s.Symbols == nil || s.TextSize == 0 {
+		return nil, fmt.Errorf("core: incomplete setup")
+	}
+	r := &Runtime{
+		m:        s.Machine,
+		syms:     s.Symbols,
+		opts:     s.Opts,
+		textSize: s.TextSize,
+		kernelAS: mem.NewAddressSpace(),
+		views:    []*LoadedView{nil},
+		byName:   make(map[string]int),
+	}
+	r.ctxSwitchAddr = s.Symbols.MustAddr("context_switch")
+	r.resumeAddr = s.Symbols.MustAddr("resume_userspace")
+	for _, name := range []string{"common_interrupt", "do_IRQ", "handle_irq", "ret_from_intr"} {
+		if f, ok := s.Symbols.ByName(name); ok {
+			r.irqEntry = append(r.irqEntry, kview.Range{Start: f.Addr, End: f.End()})
+		}
+	}
+	for range s.Machine.CPUs {
+		r.cpus = append(r.cpus, &cpuViewState{active: FullView, last: FullView})
+	}
+	s.Machine.SetExitHandler(r)
+	return r, nil
+}
+
+// Enable arms the context-switch trap: from now on every guest context
+// switch is intercepted.
+func (r *Runtime) Enable() {
+	if r.enabled {
+		return
+	}
+	r.m.TrapOnAddr(r.ctxSwitchAddr)
+	r.enabled = true
+}
+
+// Disable stops interception and restores the full kernel view on every
+// vCPU without interrupting the guest (Section III-B4).
+func (r *Runtime) Disable() {
+	if !r.enabled {
+		return
+	}
+	r.m.ClearTrap(r.ctxSwitchAddr)
+	for r.resumeTrapRefs > 0 {
+		r.disarmResume()
+	}
+	for i, cpu := range r.m.CPUs {
+		r.switchTo(cpu, FullView)
+		r.cpus[i].last = FullView
+	}
+	r.enabled = false
+}
+
+// Enabled reports whether interception is active.
+func (r *Runtime) Enabled() bool { return r.enabled }
+
+func (r *Runtime) armResume() {
+	if r.resumeTrapRefs == 0 {
+		r.m.TrapOnAddr(r.resumeAddr)
+	}
+	r.resumeTrapRefs++
+}
+
+func (r *Runtime) disarmResume() {
+	if r.resumeTrapRefs == 0 {
+		return
+	}
+	r.resumeTrapRefs--
+	if r.resumeTrapRefs == 0 {
+		r.m.ClearTrap(r.resumeAddr)
+	}
+}
+
+// vmiAcc returns an accessor that reads guest virtual memory exactly as
+// the given vCPU would (through its EPT) — the runtime's VMI channel.
+func (r *Runtime) vmiAcc(cpu *hv.CPU) mem.Accessor {
+	return mem.Accessor{AS: r.kernelAS, EPT: cpu.EPT, Host: r.m.Host}
+}
+
+// readRQCurr reads the incoming task's pid and comm via VMI at a
+// context-switch trap.
+func (r *Runtime) readRQCurr(cpu *hv.CPU) (pid int, comm string, err error) {
+	acc := r.vmiAcc(cpu)
+	r.m.Charge(3 * r.m.Cost.VMIRead)
+	ptr, err := acc.ReadU32(kernel.VMIRQCurrBase + uint32(cpu.ID)*4)
+	if err != nil {
+		return 0, "", fmt.Errorf("core: vmi rq->curr: %w", err)
+	}
+	p, err := acc.ReadU32(ptr + kernel.VMITaskPIDOff)
+	if err != nil {
+		return 0, "", fmt.Errorf("core: vmi pid: %w", err)
+	}
+	buf := make([]byte, kernel.VMICommLen)
+	if err := acc.Read(ptr+kernel.VMITaskCommOff, buf); err != nil {
+		return 0, "", fmt.Errorf("core: vmi comm: %w", err)
+	}
+	return int(p), strings.TrimRight(string(buf), "\x00"), nil
+}
+
+// vmiModule is a module-list entry read from guest memory.
+type vmiModule struct {
+	Name string
+	Base uint32
+	Size uint32
+}
+
+// readModules traverses the guest's module list via VMI (Section III-B1:
+// "we traverse the kernel's module list to identify the loading
+// addresses").
+func (r *Runtime) readModules(cpu *hv.CPU) ([]vmiModule, error) {
+	acc := r.vmiAcc(cpu)
+	count, err := acc.ReadU32(kernel.VMIModCountAddr)
+	if err != nil {
+		return nil, fmt.Errorf("core: vmi module count: %w", err)
+	}
+	r.m.Charge(uint64(1+3*count) * r.m.Cost.VMIRead)
+	if count > 1024 {
+		return nil, fmt.Errorf("core: implausible module count %d", count)
+	}
+	mods := make([]vmiModule, 0, count)
+	for i := uint32(0); i < count; i++ {
+		base := kernel.VMIModListBase + i*kernel.VMIModStride
+		b, err := acc.ReadU32(base)
+		if err != nil {
+			return nil, err
+		}
+		sz, err := acc.ReadU32(base + 4)
+		if err != nil {
+			return nil, err
+		}
+		nameBuf := make([]byte, kernel.VMIModNameLen)
+		if err := acc.Read(base+8, nameBuf); err != nil {
+			return nil, err
+		}
+		mods = append(mods, vmiModule{
+			Name: strings.TrimRight(string(nameBuf), "\x00"),
+			Base: b,
+			Size: sz,
+		})
+	}
+	return mods, nil
+}
+
+// Symbolize renders an address the way the paper's recovery logs do,
+// trusting only System.map and the guest-visible module list. Code in a
+// hidden module symbolizes as UNKNOWN — the Figure 5 signature.
+func (r *Runtime) Symbolize(cpu *hv.CPU, addr uint32) string {
+	if addr >= mem.KernelTextGVA && addr < mem.KernelTextGVA+r.textSize {
+		if f, ok := r.syms.ByAddr(addr); ok && f.Module == "" {
+			return fmt.Sprintf("%s+0x%x", f.Name, addr-f.Addr)
+		}
+		return "UNKNOWN"
+	}
+	if mem.IsModuleGVA(addr) {
+		mods, err := r.readModules(cpu)
+		if err == nil {
+			for _, m := range mods {
+				if addr >= m.Base && addr < m.Base+m.Size {
+					if f, ok := r.syms.ByAddr(addr); ok && f.Module == m.Name {
+						return fmt.Sprintf("%s+0x%x", f.Name, addr-f.Addr)
+					}
+					return fmt.Sprintf("%s+0x%x", m.Name, addr-m.Base)
+				}
+			}
+		}
+		return "UNKNOWN"
+	}
+	return "UNKNOWN"
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"facechange/internal/hv"
+	"facechange/internal/isa"
+	"facechange/internal/mem"
+)
+
+// Frame is one backtrace entry.
+type Frame struct {
+	Addr uint32
+	Sym  string
+}
+
+// Event is one kernel code recovery with its provenance (Section III-B3).
+type Event struct {
+	Cycle uint64
+	CPU   int
+	// PID and Comm identify the guest process context (via VMI).
+	PID  int
+	Comm string
+	// View is the violated kernel view's name.
+	View string
+	// Addr is the faulting (or instantly recovered) address.
+	Addr uint32
+	// FnStart/FnEnd bound the recovered code.
+	FnStart, FnEnd uint32
+	// Fn is the symbolized recovered function.
+	Fn string
+	// Interrupt marks recoveries whose call stack shows interrupt context
+	// (benign case i of Section III-B3).
+	Interrupt bool
+	// Instant marks a caller recovered during a backtrace because its
+	// return site read "0B 0F" (Figure 3's instant recovery).
+	Instant bool
+	// Backtrace is the invocation chain, innermost first.
+	Backtrace []Frame
+}
+
+// String renders the event like the paper's recovery logs (Figures 4, 5).
+func (e Event) String() string {
+	var b strings.Builder
+	kind := ""
+	if e.Instant {
+		kind = " (instant)"
+	}
+	fmt.Fprintf(&b, "Recover 0x%08x <%s> for kernel[%s]%s\n", e.Addr, e.Fn, e.View, kind)
+	for _, f := range e.Backtrace {
+		fmt.Fprintf(&b, "|-- 0x%08x <%s>\n", f.Addr, f.Sym)
+	}
+	return b.String()
+}
+
+// Log returns all recovery events in order.
+func (r *Runtime) Log() []Event { return r.log }
+
+// ResetLog clears the recovery log and counters.
+func (r *Runtime) ResetLog() {
+	r.log = nil
+	r.Recoveries, r.InstantRecoveries, r.InterruptRecoveries = 0, 0, 0
+}
+
+// OnInvalidOpcode implements hv.ExitHandler: Algorithm 1's
+// HANDLE_INVALID_OPCODE — step 4/5 of Figure 2.
+func (r *Runtime) OnInvalidOpcode(m *hv.Machine, cpu *hv.CPU) (bool, error) {
+	st := r.cpus[cpu.ID]
+	v := r.ViewByIndex(st.active)
+	if v == nil {
+		// UD2 under the full kernel view is a genuine guest fault, not a
+		// view violation.
+		return false, nil
+	}
+	if !v.covers(cpu.EIP) {
+		return false, nil
+	}
+	// BACK_TRACE(rip, rbp), with instant recovery of any caller whose
+	// return site misparses.
+	frames, instantAddrs := r.backtrace(cpu)
+	pid, comm, err := r.readRQCurr(cpu)
+	if err != nil {
+		pid, comm = -1, "?"
+	}
+	inIRQ := r.stackInInterrupt(frames)
+
+	if _, err := r.recoverAt(cpu, v, cpu.EIP, pid, comm, inIRQ, false, frames); err != nil {
+		return false, err
+	}
+	if r.opts.InstantRecovery {
+		for _, a := range instantAddrs {
+			if _, err := r.recoverAt(cpu, v, a, pid, comm, inIRQ, true, frames); err != nil {
+				return false, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// backtrace walks the EBP frame chain (Algorithm 1's BACK_TRACE),
+// returning the symbolized frames (innermost return site first) and the
+// return addresses whose first bytes read "0B 0F" — candidates for instant
+// recovery.
+func (r *Runtime) backtrace(cpu *hv.CPU) ([]Frame, []uint32) {
+	var frames []Frame
+	var instant []uint32
+	acc := cpu.Mem()
+	ebp := cpu.EBP
+	for depth := 0; depth < 64; depth++ {
+		if ebp == 0 || ebp < mem.KernelBase {
+			break
+		}
+		prevRIP, err := acc.ReadU32(ebp + 4)
+		if err != nil {
+			break
+		}
+		prevEBP, err := acc.ReadU32(ebp)
+		if err != nil {
+			break
+		}
+		if prevRIP < mem.KernelBase { // IS_VALID failed
+			break
+		}
+		frames = append(frames, Frame{Addr: prevRIP, Sym: r.Symbolize(cpu, prevRIP)})
+		// Inspect the return site's bytes as mapped *through the active
+		// view*: "0B 0F" cannot trap and must be recovered instantly.
+		var b [2]byte
+		if err := acc.Read(prevRIP, b[:]); err == nil {
+			if b[0] == isa.ByteOrAcc && b[1] == isa.Byte0F {
+				instant = append(instant, prevRIP)
+			}
+		}
+		ebp = prevEBP
+	}
+	return frames, instant
+}
+
+// stackInInterrupt reports whether any frame lies in the interrupt entry
+// paths — the paper's stack-inspection test for benign interrupt-context
+// recoveries.
+func (r *Runtime) stackInInterrupt(frames []Frame) bool {
+	for _, f := range frames {
+		for _, rg := range r.irqEntry {
+			if f.Addr >= rg.Start && f.Addr < rg.End {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recoverAt fetches the missing kernel function containing addr from the
+// original kernel code pages and fills it into the view (FETCH_FILL_CODE),
+// logging the event.
+func (r *Runtime) recoverAt(cpu *hv.CPU, v *LoadedView, addr uint32, pid int, comm string, inIRQ, instant bool, frames []Frame) (Event, error) {
+	regionStart, regionEnd, space, err := r.regionOf(cpu, addr)
+	if err != nil {
+		return Event{}, err
+	}
+	var start, end uint32
+	if r.opts.WholeFunctionLoad {
+		start, end, err = r.funcSpan(addr, addr+1, regionStart, regionEnd)
+		if err != nil {
+			return Event{}, err
+		}
+	} else {
+		// Block-granular ablation: recover one aligned 64-byte chunk.
+		start = addr &^ 63
+		end = start + 64
+		if end > regionEnd {
+			end = regionEnd
+		}
+	}
+	if err := r.copyPhys(v, start, end-start); err != nil {
+		return Event{}, fmt.Errorf("core: recover %#x: %w", addr, err)
+	}
+	if space == "" {
+		// Base-kernel view ranges are absolute addresses.
+		v.noteRecovered(space, start, end)
+	} else {
+		// Module ranges are module-relative (load addresses change).
+		v.noteRecovered(space, start-regionStart, end-regionStart)
+	}
+	r.m.Charge(r.m.Cost.RecoveryBase + uint64(end-start)*r.m.Cost.RecoveryPerByte)
+
+	ev := Event{
+		Cycle:     r.m.Cycles(),
+		CPU:       cpu.ID,
+		PID:       pid,
+		Comm:      comm,
+		View:      v.Name,
+		Addr:      addr,
+		FnStart:   start,
+		FnEnd:     end,
+		Fn:        r.Symbolize(cpu, start),
+		Interrupt: inIRQ,
+		Instant:   instant,
+		Backtrace: frames,
+	}
+	r.log = append(r.log, ev)
+	r.Recoveries++
+	if instant {
+		r.InstantRecoveries++
+	}
+	if inIRQ {
+		r.InterruptRecoveries++
+	}
+	return ev, nil
+}
+
+// regionOf bounds the code region containing addr: the base kernel text or
+// the owning module (from the guest module list). space names the region
+// in kernel-view terms (kview.BaseKernel or the module name).
+func (r *Runtime) regionOf(cpu *hv.CPU, addr uint32) (start, end uint32, space string, err error) {
+	if addr >= mem.KernelTextGVA && addr < mem.KernelTextGVA+r.textSize {
+		return mem.KernelTextGVA, mem.KernelTextGVA + r.textSize, "", nil
+	}
+	if mem.IsModuleGVA(addr) {
+		mods, err := r.readModules(cpu)
+		if err != nil {
+			return 0, 0, "", err
+		}
+		for _, m := range mods {
+			if addr >= m.Base && addr < m.Base+m.Size {
+				return m.Base, m.Base + m.Size, m.Name, nil
+			}
+		}
+	}
+	return 0, 0, "", fmt.Errorf("core: %#x is not in any identified kernel code region", addr)
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"facechange/internal/hv"
+	"facechange/internal/mem"
+)
+
+// OnAddrTrap implements hv.ExitHandler: Algorithm 1's
+// HANDLE_KERNEL_VIEW_TRAP. It fires at context_switch (step 2 of Figure 2)
+// and at resume_userspace.
+func (r *Runtime) OnAddrTrap(m *hv.Machine, cpu *hv.CPU) error {
+	st := r.cpus[cpu.ID]
+	switch cpu.EIP {
+	case r.ctxSwitchAddr:
+		_, comm, err := r.readRQCurr(cpu)
+		if err != nil {
+			return err
+		}
+		idx := r.ViewIndex(comm)
+		if r.opts.SameViewElision && idx == st.active {
+			// Previous and next process use the same kernel view: avoid
+			// one additional switch (Section III-B2).
+			if st.resumeArmed {
+				st.resumeArmed = false
+				r.disarmResume()
+			}
+			return nil
+		}
+		if idx == FullView || !r.opts.SwitchAtResume {
+			if st.resumeArmed {
+				st.resumeArmed = false
+				r.disarmResume()
+			}
+			r.switchTo(cpu, idx)
+			return nil
+		}
+		// Custom view: defer the switch to resume_userspace so pending
+		// interrupts for the outgoing view are not missed.
+		if !st.resumeArmed {
+			st.resumeArmed = true
+			r.armResume()
+		}
+		st.last = idx
+		return nil
+	case r.resumeAddr:
+		if !st.resumeArmed {
+			return nil // another vCPU armed the shared breakpoint
+		}
+		st.resumeArmed = false
+		r.disarmResume()
+		r.switchTo(cpu, st.last)
+		return nil
+	default:
+		return fmt.Errorf("core: unexpected address trap at %#x", cpu.EIP)
+	}
+}
+
+// switchTo points the vCPU's EPT at the kernel view with the given index
+// (steps 3A/3B of Figure 2) and charges the simulated cost of the EPT
+// updates.
+func (r *Runtime) switchTo(cpu *hv.CPU, idx int) {
+	st := r.cpus[cpu.ID]
+	if st.active == idx && r.opts.SameViewElision {
+		// Redundant switch elided. Without the optimization the EPT
+		// entries are rewritten (and paid for) even when nothing changes,
+		// which is what the ablation benchmark measures.
+		return
+	}
+	old := r.ViewByIndex(st.active)
+	next := r.ViewByIndex(idx)
+
+	var pdOps, pteOps uint64
+
+	// 3A: base kernel code — swap the page-directory entries covering the
+	// text (or every PTE in the ablation configuration).
+	if r.opts.PDGranularSwitch {
+		for _, pdBase := range r.textPDBases() {
+			if next != nil {
+				cpu.EPT.SetPD(pdBase, next.pts[pdBase])
+			} else {
+				cpu.EPT.SetPD(pdBase, nil)
+			}
+			pdOps++
+		}
+	} else {
+		for gpa := mem.KernelTextGPA; gpa < mem.KernelTextGPA+r.textSize; gpa += mem.PageSize {
+			if next != nil {
+				cpu.EPT.SetPTE(gpa, next.textPages[gpa])
+			} else {
+				cpu.EPT.ClearPTE(gpa)
+			}
+			pteOps++
+		}
+	}
+
+	// 3B: kernel module code pages are scattered in the kernel heap and
+	// share PD entries with kernel data, so they are remapped
+	// individually.
+	if old != nil {
+		for gpa := range old.modPages {
+			if next != nil {
+				if hpa, ok := next.modPages[gpa]; ok {
+					cpu.EPT.SetPTE(gpa, hpa)
+					pteOps++
+					continue
+				}
+			}
+			cpu.EPT.ClearPTE(gpa)
+			pteOps++
+		}
+	}
+	if next != nil {
+		for gpa, hpa := range next.modPages {
+			if old != nil {
+				if _, done := old.modPages[gpa]; done {
+					continue // already remapped above
+				}
+			}
+			cpu.EPT.SetPTE(gpa, hpa)
+			pteOps++
+		}
+	}
+
+	r.m.Charge(pdOps*r.m.Cost.EPTPDSwap + pteOps*r.m.Cost.EPTPTESwap)
+	st.active = idx
+	r.ViewSwitches++
+}
+
+// ActiveView returns the view index active on a vCPU.
+func (r *Runtime) ActiveView(cpuID int) int { return r.cpus[cpuID].active }

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+
+	"facechange/internal/isa"
+	"facechange/internal/kview"
+	"facechange/internal/mem"
+)
+
+// LoadedView is a kernel view materialized in host memory: shadow copies
+// of the guest's kernel code pages, UD2-filled except for the code loaded
+// from the view configuration (Section III-B1).
+type LoadedView struct {
+	Name string
+	Cfg  *kview.View
+
+	// textPages maps each base-kernel text GPA page to its shadow HPA.
+	textPages map[uint32]uint32
+	// pts holds the prebuilt EPT page tables for the PD slots covering the
+	// base kernel text (the fast switch path).
+	pts map[uint32]*mem.PT
+	// modPages maps module-area GPA pages to shadow HPAs (the scattered
+	// pages switched PTE-by-PTE).
+	modPages map[uint32]uint32
+
+	// LoadedBytes counts code bytes copied into the view at build time.
+	LoadedBytes uint64
+
+	// recovered accumulates the ranges filled in by kernel code recovery,
+	// per space — the administrator's reference for ameliorating the
+	// profiling test suite (Section III-B3).
+	recovered *kview.View
+}
+
+// noteRecovered records a recovered range (absolute for the base kernel,
+// module-relative otherwise).
+func (v *LoadedView) noteRecovered(space string, start, end uint32) {
+	if v.recovered == nil {
+		v.recovered = kview.NewView(v.Name)
+	}
+	v.recovered.Insert(space, start, end)
+}
+
+// Recovered returns the ranges recovered into this view so far (nil if
+// none).
+func (v *LoadedView) Recovered() *kview.View { return v.recovered }
+
+var ud2Page = buildUD2Page()
+
+func buildUD2Page() []byte {
+	p := make([]byte, mem.PageSize)
+	for i := 0; i < len(p); i += 2 {
+		p[i] = isa.UD2[0]
+		p[i+1] = isa.UD2[1]
+	}
+	return p
+}
+
+// textPDBases returns the PD-slot base GPAs covering the kernel text.
+func (r *Runtime) textPDBases() []uint32 {
+	var out []uint32
+	start := mem.KernelTextGPA &^ (mem.PDSpan - 1)
+	end := mem.KernelTextGPA + r.textSize
+	for base := start; base < end; base += mem.PDSpan {
+		out = append(out, base)
+	}
+	return out
+}
+
+// LoadView materializes cfg as a new kernel view and registers it under
+// cfg.App, returning its index. The guest keeps running; this is the
+// dynamic "hot-plug" of Section III-B4.
+func (r *Runtime) LoadView(cfg *kview.View) (int, error) {
+	v := &LoadedView{
+		Name:      cfg.App,
+		Cfg:       cfg,
+		textPages: make(map[uint32]uint32),
+		pts:       make(map[uint32]*mem.PT),
+		modPages:  make(map[uint32]uint32),
+	}
+	// 1. Shadow the whole base kernel text with UD2.
+	host := r.m.Host
+	for gpa := mem.KernelTextGPA; gpa < mem.KernelTextGPA+r.textSize; gpa += mem.PageSize {
+		hpa := host.AllocPage()
+		if err := host.Write(hpa, ud2Page); err != nil {
+			return 0, fmt.Errorf("core: fill shadow: %w", err)
+		}
+		v.textPages[gpa] = hpa
+	}
+	for _, pdBase := range r.textPDBases() {
+		pt := mem.NewIdentityPT(pdBase)
+		for gpa, hpa := range v.textPages {
+			if gpa&^(mem.PDSpan-1) == pdBase {
+				pt.Set(int(gpa>>mem.PageShift)&1023, hpa)
+			}
+		}
+		v.pts[pdBase] = pt
+	}
+	// 2. Load configured base-kernel code, expanded to whole functions.
+	for _, rg := range cfg.Ranges(kview.BaseKernel) {
+		if err := r.loadRange(v, rg.Start, rg.End, mem.KernelTextGVA, mem.KernelTextGVA+r.textSize); err != nil {
+			return 0, err
+		}
+	}
+	// 3. Shadow every guest-visible module and load configured module
+	// code. Modules in the guest's list but absent from the configuration
+	// stay fully UD2 — excluded code.
+	mods, err := r.readModules(r.m.CPUs[0])
+	if err != nil {
+		return 0, fmt.Errorf("core: module list: %w", err)
+	}
+	for _, mod := range mods {
+		start := mem.PageAlignDown(mod.Base)
+		end := mem.PageAlignUp(mod.Base + mod.Size)
+		for gva := start; gva < end; gva += mem.PageSize {
+			hpa := host.AllocPage()
+			if err := host.Write(hpa, ud2Page); err != nil {
+				return 0, fmt.Errorf("core: fill module shadow: %w", err)
+			}
+			v.modPages[moduleGPA(gva)] = hpa
+		}
+		// A module's shadow covers whole pages; preserve the byte ranges
+		// of the page content outside the module (other heap data) by
+		// copying them from guest RAM.
+		if off := mod.Base - start; off > 0 {
+			if err := r.copyPhys(v, start, off); err != nil {
+				return 0, err
+			}
+		}
+		if tail := end - (mod.Base + mod.Size); tail > 0 {
+			if err := r.copyPhys(v, mod.Base+mod.Size, tail); err != nil {
+				return 0, err
+			}
+		}
+		for _, rg := range cfg.Ranges(mod.Name) {
+			s, e := mod.Base+rg.Start, mod.Base+rg.End
+			if e > mod.Base+mod.Size {
+				e = mod.Base + mod.Size
+			}
+			if err := r.loadRange(v, s, e, mod.Base, mod.Base+mod.Size); err != nil {
+				return 0, err
+			}
+		}
+	}
+	idx := len(r.views)
+	r.views = append(r.views, v)
+	if cfg.App != "" {
+		r.byName[cfg.App] = idx
+	}
+	return idx, nil
+}
+
+// moduleGPA converts a module-area GVA to its GPA.
+func moduleGPA(gva uint32) uint32 { return mem.ModuleGPA + (gva - mem.ModuleGVA) }
+
+func kernelGPA(gva uint32) uint32 { return gva - mem.KernelBase }
+
+// gpaFor maps a kernel-space GVA to its guest physical address.
+func gpaFor(gva uint32) uint32 {
+	if mem.IsModuleGVA(gva) {
+		return moduleGPA(gva)
+	}
+	return kernelGPA(gva)
+}
+
+// loadRange copies the pristine guest code covering [start,end) into the
+// view, expanded to whole functions when WholeFunctionLoad is on.
+func (r *Runtime) loadRange(v *LoadedView, start, end, regionStart, regionEnd uint32) error {
+	if r.opts.WholeFunctionLoad {
+		var err error
+		start, end, err = r.funcSpan(start, end, regionStart, regionEnd)
+		if err != nil {
+			return err
+		}
+	}
+	return r.copyPhys(v, start, end-start)
+}
+
+// copyPhys copies n pristine bytes at guest virtual address gva (read from
+// guest *physical* memory, immune to active views) into v's shadow pages.
+func (r *Runtime) copyPhys(v *LoadedView, gva uint32, n uint32) error {
+	buf := make([]byte, n)
+	if err := r.m.Host.Read(gpaFor(gva), buf); err != nil {
+		return fmt.Errorf("core: read pristine code at %#x: %w", gva, err)
+	}
+	if err := v.write(r.m.Host, gva, buf); err != nil {
+		return err
+	}
+	v.LoadedBytes += uint64(n)
+	return nil
+}
+
+// write stores bytes into the view's shadow pages, page by page.
+func (v *LoadedView) write(host *mem.Host, gva uint32, data []byte) error {
+	for len(data) > 0 {
+		gpaPage := mem.PageAlignDown(gpaFor(gva))
+		hpa, ok := v.textPages[gpaPage]
+		if !ok {
+			hpa, ok = v.modPages[gpaPage]
+		}
+		if !ok {
+			return fmt.Errorf("core: view %q has no shadow page for %#x", v.Name, gva)
+		}
+		off := gva & (mem.PageSize - 1)
+		n := int(mem.PageSize - off)
+		if n > len(data) {
+			n = len(data)
+		}
+		if err := host.Write(hpa+off, data[:n]); err != nil {
+			return err
+		}
+		gva += uint32(n)
+		data = data[n:]
+	}
+	return nil
+}
+
+// covers reports whether the view shadows the page containing gva.
+func (v *LoadedView) covers(gva uint32) bool {
+	gpaPage := mem.PageAlignDown(gpaFor(gva))
+	if _, ok := v.textPages[gpaPage]; ok {
+		return true
+	}
+	_, ok := v.modPages[gpaPage]
+	return ok
+}
+
+// funcSpan expands [start,end) to whole-function boundaries by scanning
+// pristine guest bytes for the prologue signature "55 89 E5" at
+// power-of-two-aligned offsets (the paper's footnote-2 reliance on
+// -falign-functions), within [regionStart, regionEnd).
+func (r *Runtime) funcSpan(start, end, regionStart, regionEnd uint32) (uint32, uint32, error) {
+	if start < regionStart || end > regionEnd || start >= end {
+		return 0, 0, fmt.Errorf("core: range [%#x,%#x) outside region [%#x,%#x)", start, end, regionStart, regionEnd)
+	}
+	region := make([]byte, regionEnd-regionStart)
+	if err := r.m.Host.Read(gpaFor(regionStart), region); err != nil {
+		return 0, 0, fmt.Errorf("core: read region: %w", err)
+	}
+	const align = 16
+	// Backwards from start for a prologue.
+	fnStart := start &^ (align - 1)
+	for fnStart > regionStart && !isa.HasPrologueAt(region, int(fnStart-regionStart)) {
+		fnStart -= align
+	}
+	// Forwards from end for the next function's prologue.
+	fnEnd := (end + align - 1) &^ (align - 1)
+	for fnEnd < regionEnd && !isa.HasPrologueAt(region, int(fnEnd-regionStart)) {
+		fnEnd += align
+	}
+	if fnEnd > regionEnd {
+		fnEnd = regionEnd
+	}
+	return fnStart, fnEnd, nil
+}
+
+// ViewIndex returns the view index assigned to an application name, or
+// FullView if none.
+func (r *Runtime) ViewIndex(app string) int {
+	if idx, ok := r.byName[app]; ok {
+		return idx
+	}
+	return FullView
+}
+
+// ViewByIndex returns a loaded view (nil for FullView).
+func (r *Runtime) ViewByIndex(idx int) *LoadedView {
+	if idx <= FullView || idx >= len(r.views) {
+		return nil
+	}
+	return r.views[idx]
+}
+
+// AssignView binds an application name (guest comm) to a loaded view.
+func (r *Runtime) AssignView(app string, idx int) error {
+	if idx != FullView && (idx <= 0 || idx >= len(r.views) || r.views[idx] == nil) {
+		return fmt.Errorf("core: no view %d", idx)
+	}
+	if idx == FullView {
+		delete(r.byName, app)
+		return nil
+	}
+	r.byName[app] = idx
+	return nil
+}
+
+// AmelioratedView returns the view's configuration merged with every range
+// recovered at runtime — the paper's feedback loop: benign recoveries are
+// "recorded as a reference for the administrator to ameliorate the
+// profiling test suite". Loading the returned configuration in a future
+// session avoids re-recovering the same code.
+func (r *Runtime) AmelioratedView(idx int) (*kview.View, error) {
+	v := r.ViewByIndex(idx)
+	if v == nil {
+		return nil, fmt.Errorf("core: no view %d", idx)
+	}
+	if v.recovered == nil {
+		out := kview.UnionViews(v.Cfg.App, v.Cfg)
+		out.App = v.Cfg.App
+		return out, nil
+	}
+	out := kview.UnionViews(v.Cfg.App, v.Cfg, v.recovered)
+	out.App = v.Cfg.App
+	return out, nil
+}
+
+// UnloadView de-allocates a view's pages and reverts any vCPU using it to
+// the full kernel view without interrupting the guest (Section III-B4).
+func (r *Runtime) UnloadView(idx int) error {
+	v := r.ViewByIndex(idx)
+	if v == nil {
+		return fmt.Errorf("core: no view %d", idx)
+	}
+	for i, cpu := range r.m.CPUs {
+		if r.cpus[i].active == idx {
+			r.switchTo(cpu, FullView)
+		}
+		if r.cpus[i].last == idx {
+			r.cpus[i].last = FullView
+		}
+	}
+	for _, hpa := range v.textPages {
+		r.m.Host.FreePage(hpa)
+	}
+	for _, hpa := range v.modPages {
+		r.m.Host.FreePage(hpa)
+	}
+	for name, i := range r.byName {
+		if i == idx {
+			delete(r.byName, name)
+		}
+	}
+	r.views[idx] = nil
+	return nil
+}

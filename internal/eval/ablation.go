@@ -1,0 +1,247 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+
+	"facechange"
+	"facechange/internal/apps"
+	"facechange/internal/core"
+	"facechange/internal/hv"
+	"facechange/internal/kernel"
+	"facechange/internal/kview"
+)
+
+// AblationResult compares one design choice on vs. off over the same
+// workload.
+type AblationResult struct {
+	Name string
+	// On/Off are the metric values with the design choice enabled and
+	// disabled (metric semantics are per ablation).
+	On, Off float64
+	// OnFault/OffFault report whether the run ended in guest corruption (a
+	// machine fault) — itself a meaningful outcome for the load-granularity
+	// and instant-recovery ablations.
+	OnFault, OffFault bool
+	// Unit describes the metric.
+	Unit string
+}
+
+func (r AblationResult) String() string {
+	fault := func(f bool) string {
+		if f {
+			return " (GUEST CORRUPTED)"
+		}
+		return ""
+	}
+	return fmt.Sprintf("%-28s on=%.1f%s off=%.1f%s %s",
+		r.Name, r.On, fault(r.OnFault), r.Off, fault(r.OffFault), r.Unit)
+}
+
+// enforcedRun executes a profiled workload under its own view with the
+// given options. A guest machine fault (corrupted execution, possible with
+// the unsafe ablation configurations) is reported via the bool, with the
+// VM still returned for inspection.
+func enforcedRun(view *kview.View, app apps.App, opts core.Options, calls int) (*facechange.VM, bool, error) {
+	vm, err := facechange.NewVM(facechange.VMConfig{Options: &opts, Modules: app.Modules})
+	if err != nil {
+		return nil, false, err
+	}
+	if _, err := vm.LoadView(view); err != nil {
+		return nil, false, err
+	}
+	vm.Runtime.Enable()
+	task := vm.StartApp(app, 1, calls)
+	err = vm.Run(6_000_000_000, func() bool { return task.State == kernel.TaskDead })
+	if err != nil {
+		if errors.Is(err, hv.ErrMachineFault) {
+			return vm, true, nil
+		}
+		return nil, false, err
+	}
+	if task.State != kernel.TaskDead {
+		return nil, false, fmt.Errorf("eval: workload did not finish")
+	}
+	return vm, false, nil
+}
+
+// AblateLoadGranularity compares whole-function view loading against
+// block-granular loading (Section III-B1's relaxation): the metric is the
+// number of kernel code recoveries under the profiled workload — the paper
+// predicts whole-function loading "reduces the frequency of kernel code
+// recovery".
+func AblateLoadGranularity(view *kview.View, app apps.App) (AblationResult, error) {
+	run := func(whole bool) (float64, bool, error) {
+		opts := core.DefaultOptions()
+		opts.WholeFunctionLoad = whole
+		vm, faulted, err := enforcedRun(view, app, opts, 300)
+		if err != nil {
+			return 0, false, err
+		}
+		return float64(vm.Runtime.Recoveries), faulted, nil
+	}
+	on, onF, err := run(true)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	off, offF, err := run(false)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{Name: "whole-function load", On: on, OnFault: onF,
+		Off: off, OffFault: offF, Unit: "recoveries"}, nil
+}
+
+// AblateInstantRecovery reproduces the paper's cross-view scenario
+// (Section III-B3, Figure 3) end to end: a process starts under the full
+// kernel view, blocks inside the kernel, and a customized view is enabled
+// for it while it sleeps. On resume, stack frames reference functions not
+// in the new view. The metric is silent kernel misparses ("0B 0F"
+// executions): with instant recovery they must be zero; without it, odd
+// return addresses misparse and corrupt the guest.
+func AblateInstantRecovery(seedView *kview.View) (AblationResult, error) {
+	run := func(instant bool) (float64, bool, error) {
+		opts := core.DefaultOptions()
+		opts.InstantRecovery = instant
+		// The cross-view stack manifests under the base design that
+		// switches views at context_switch: the resumed task's kernel
+		// unwind then runs under the freshly enabled view (the situation
+		// of Figure 3). The deferred-switch optimization masks it for
+		// this process but not when another process's view is active.
+		opts.SwitchAtResume = false
+		vm, err := facechange.NewVM(facechange.VMConfig{Options: &opts})
+		if err != nil {
+			return 0, false, err
+		}
+		vm.Runtime.Enable()
+		// A workload that blocks deep inside many different kernel chains.
+		task := vm.Kernel.StartTask(kernel.TaskSpec{
+			Name: "victim",
+			Script: &kernel.LoopScript{Calls: []kernel.Syscall{
+				{Nr: kernel.SysPipe},
+				{Nr: kernel.SysPoll, File: kernel.FilePipe, Blocks: 1},
+				{Nr: kernel.SysSelect, File: kernel.FilePipe, Blocks: 1},
+				{Nr: kernel.SysRead, File: kernel.FilePipe, Blocks: 1},
+				{Nr: kernel.SysFutex, Blocks: 1},
+				{Nr: kernel.SysNanosleep, Blocks: 1},
+				{Nr: kernel.SysEpollWait, File: kernel.FilePipe, Blocks: 1},
+			}},
+		})
+		// Let it run (and block) under the full kernel view.
+		if err := vm.Run(600_000, nil); err != nil {
+			return 0, false, err
+		}
+		// Hot-plug a nearly empty view for it while it sleeps mid-kernel.
+		idx, err := vm.LoadView(seedView)
+		if err != nil {
+			return 0, false, err
+		}
+		if err := vm.Runtime.AssignView("victim", idx); err != nil {
+			return 0, false, err
+		}
+		err = vm.Run(40_000_000, nil)
+		faulted := false
+		if err != nil {
+			if !errors.Is(err, hv.ErrMachineFault) {
+				return 0, false, err
+			}
+			faulted = true
+		}
+		_ = task
+		n, _ := vm.Kernel.M.Misparses()
+		return float64(n), faulted, nil
+	}
+	on, onF, err := run(true)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	off, offF, err := run(false)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{Name: "instant recovery", On: on, OnFault: onF,
+		Off: off, OffFault: offF, Unit: "silent misparses"}, nil
+}
+
+// AblateSameViewElision compares the same-view elision: the metric is EPT
+// view switches for two processes sharing one view.
+func AblateSameViewElision(view *kview.View, app apps.App) (AblationResult, error) {
+	run := func(elide bool) (float64, error) {
+		opts := core.DefaultOptions()
+		opts.SameViewElision = elide
+		vm, err := facechange.NewVM(facechange.VMConfig{Options: &opts, Modules: app.Modules})
+		if err != nil {
+			return 0, err
+		}
+		if _, err := vm.LoadView(view); err != nil {
+			return 0, err
+		}
+		vm.Runtime.Enable()
+		vm.StartApp(app, 1, 0)
+		vm.StartApp(app, 2, 0)
+		if err := vm.Run(40_000_000, nil); err != nil {
+			return 0, err
+		}
+		return float64(vm.Runtime.ViewSwitches), nil
+	}
+	on, err := run(true)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	off, err := run(false)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{Name: "same-view elision", On: on, Off: off, Unit: "view switches"}, nil
+}
+
+// AblateEPTGranularity compares PD-granular base-kernel switching against
+// per-PTE switching: the metric is total simulated cycles for the same
+// workload (per-PTE switching rewrites ~125 entries per switch instead of
+// one PD slot).
+func AblateEPTGranularity(view *kview.View, app apps.App) (AblationResult, error) {
+	run := func(pd bool) (float64, error) {
+		opts := core.DefaultOptions()
+		opts.PDGranularSwitch = pd
+		vm, _, err := enforcedRun(view, app, opts, 300)
+		if err != nil {
+			return 0, err
+		}
+		return float64(vm.Kernel.M.Cycles()), nil
+	}
+	on, err := run(true)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	off, err := run(false)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{Name: "PD-granular switch", On: on, Off: off, Unit: "cycles"}, nil
+}
+
+// AblateSwitchPoint compares deferring the view switch to resume_userspace
+// against switching immediately at context_switch (Section III-B2): the
+// metrics are the view switches performed (immediate switching acts on
+// every scheduling decision, including kernel-bound ones that the deferred
+// path elides).
+func AblateSwitchPoint(view *kview.View, app apps.App) (AblationResult, error) {
+	run := func(deferred bool) (float64, error) {
+		opts := core.DefaultOptions()
+		opts.SwitchAtResume = deferred
+		vm, _, err := enforcedRun(view, app, opts, 300)
+		if err != nil {
+			return 0, err
+		}
+		return float64(vm.Runtime.ViewSwitches), nil
+	}
+	on, err := run(true)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	off, err := run(false)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{Name: "switch at resume", On: on, Off: off, Unit: "view switches"}, nil
+}

@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"testing"
+
+	"facechange"
+	"facechange/internal/apps"
+	"facechange/internal/kview"
+)
+
+func profiledApp(t *testing.T, name string) (apps.App, *kview.View) {
+	t.Helper()
+	app, ok := apps.ByName(name)
+	if !ok {
+		t.Fatalf("no app %s", name)
+	}
+	view, err := facechange.Profile(app, facechange.ProfileConfig{Syscalls: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app, view
+}
+
+func TestAblationLoadGranularity(t *testing.T) {
+	app, view := profiledApp(t, "top")
+	res, err := AblateLoadGranularity(view, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if res.OnFault {
+		t.Error("whole-function loading must never corrupt the guest")
+	}
+	// Block-granular loading either recovers far more often or fragments
+	// an instruction and corrupts the guest (Section III-B1's two
+	// rationales for the relaxation).
+	if !res.OffFault && res.On >= res.Off {
+		t.Errorf("whole-function loading should reduce recoveries: on=%v off=%v", res.On, res.Off)
+	}
+}
+
+func TestAblationInstantRecovery(t *testing.T) {
+	// top's view lacks every chain the victim blocks in (pipe, poll,
+	// select, futex, epoll), so resuming mid-kernel under it exercises
+	// cross-view recovery at both even and odd return sites.
+	_, seed := profiledApp(t, "top")
+	res, err := AblateInstantRecovery(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	// With instant recovery no kernel misparse may ever execute and the
+	// guest must stay alive.
+	if res.On != 0 || res.OnFault {
+		t.Errorf("instant recovery left %v silent misparses (fault=%v)", res.On, res.OnFault)
+	}
+	// Without it, an odd return site (Figure 3's "0B 0F") misparses
+	// silently or corrupts the guest outright.
+	if res.Off == 0 && !res.OffFault {
+		t.Error("expected misparses or corruption without instant recovery")
+	}
+}
+
+func TestAblationSameViewElision(t *testing.T) {
+	app, view := profiledApp(t, "gzip")
+	res, err := AblateSameViewElision(view, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if res.On >= res.Off {
+		t.Errorf("elision should reduce switches: on=%v off=%v", res.On, res.Off)
+	}
+}
+
+func TestAblationEPTGranularity(t *testing.T) {
+	app, view := profiledApp(t, "top")
+	res, err := AblateEPTGranularity(view, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	// Per-PTE switching must cost more cycles for the same work.
+	if res.On >= res.Off {
+		t.Errorf("PD-granular switching should be cheaper: on=%v off=%v cycles", res.On, res.Off)
+	}
+}
+
+func TestAblationSwitchPoint(t *testing.T) {
+	app, view := profiledApp(t, "top")
+	res, err := AblateSwitchPoint(view, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	if res.On <= 0 || res.Off <= 0 {
+		t.Errorf("both switch points must actually switch: %+v", res)
+	}
+}

@@ -1,0 +1,47 @@
+package eval
+
+import (
+	"testing"
+
+	"facechange"
+	"facechange/internal/apps"
+	"facechange/internal/httpload"
+)
+
+// TestCapacityProbe measures the Apache server's saturation throughput
+// with and without FACE-CHANGE — the quantities that set Figure 7's
+// crossover point.
+func TestCapacityProbe(t *testing.T) {
+	app, _ := apps.ByName("apache")
+	view, err := facechange.Profile(app, facechange.ProfileConfig{Syscalls: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := map[bool]float64{}
+	for _, enforce := range []bool{false, true} {
+		vm, err := facechange.NewVM(facechange.VMConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enforce {
+			if _, err := vm.LoadView(view); err != nil {
+				t.Fatal(err)
+			}
+			vm.Runtime.Enable()
+		}
+		servers := httpload.StartServers(vm.Kernel)
+		if err := vm.Run(httpload.CyclesPerSecond/2, nil); err != nil {
+			t.Fatal(err)
+		}
+		res, err := httpload.Run(vm.Kernel, servers, 75, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		capacity[enforce] = res.ServedRPS
+		t.Logf("enforce=%v capacity=%.1f rps", enforce, res.ServedRPS)
+	}
+	if capacity[true] >= capacity[false] {
+		t.Errorf("FACE-CHANGE should reduce saturation capacity: base=%.1f fc=%.1f",
+			capacity[false], capacity[true])
+	}
+}

@@ -1,0 +1,121 @@
+// Package eval contains the experiment drivers that regenerate every table
+// and figure of the paper's evaluation (Section IV): the Table I similarity
+// matrix, the Table II security evaluation, the Figure 6 UnixBench sweep
+// and the Figure 7 Apache I/O sweep, plus ablations of the design choices
+// in Section III-B.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"facechange"
+	"facechange/internal/apps"
+	"facechange/internal/kview"
+)
+
+// Table1 is the similarity matrix of kernel views (Table I): the diagonal
+// holds view sizes, the upper triangle overlap sizes, the lower triangle
+// similarity indices per Equation (1).
+type Table1 struct {
+	Apps  []string
+	Views map[string]*kview.View
+	// Size is SIZE(K[app]) in bytes.
+	Size map[string]uint64
+	// Overlap[a][b] is SIZE(K[a] ∩ K[b]) in bytes.
+	Overlap map[string]map[string]uint64
+	// Sim[a][b] is the similarity index S.
+	Sim map[string]map[string]float64
+}
+
+// RunTable1 profiles every catalog application in an independent session
+// and computes the pairwise matrix.
+func RunTable1(cfg facechange.ProfileConfig) (*Table1, error) {
+	cat := apps.Catalog()
+	views, err := facechange.ProfileAll(cat, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table1{
+		Views:   views,
+		Size:    make(map[string]uint64, len(cat)),
+		Overlap: make(map[string]map[string]uint64, len(cat)),
+		Sim:     make(map[string]map[string]float64, len(cat)),
+	}
+	for _, a := range cat {
+		t.Apps = append(t.Apps, a.Name)
+		t.Size[a.Name] = views[a.Name].Size()
+		t.Overlap[a.Name] = make(map[string]uint64, len(cat))
+		t.Sim[a.Name] = make(map[string]float64, len(cat))
+	}
+	for i, a := range t.Apps {
+		for j, b := range t.Apps {
+			if i == j {
+				continue
+			}
+			t.Overlap[a][b] = kview.OverlapSize(views[a], views[b])
+			t.Sim[a][b] = kview.Similarity(views[a], views[b])
+		}
+	}
+	return t, nil
+}
+
+// MinMaxSimilarity returns the extreme off-diagonal similarity indices and
+// their pairs — the paper's headline "33.6% … 86.5%" numbers.
+func (t *Table1) MinMaxSimilarity() (min float64, minPair [2]string, max float64, maxPair [2]string) {
+	min = 2.0
+	for i, a := range t.Apps {
+		for j, b := range t.Apps {
+			if j <= i {
+				continue
+			}
+			s := t.Sim[a][b]
+			if s < min {
+				min, minPair = s, [2]string{a, b}
+			}
+			if s > max {
+				max, maxPair = s, [2]string{a, b}
+			}
+		}
+	}
+	return min, minPair, max, maxPair
+}
+
+// Format renders the matrix in the paper's layout: sizes on the diagonal,
+// overlap KB above it, similarity percentages below it.
+func (t *Table1) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s", "")
+	for _, a := range t.Apps {
+		fmt.Fprintf(&b, "%9s", a)
+	}
+	b.WriteByte('\n')
+	for i, row := range t.Apps {
+		fmt.Fprintf(&b, "%-9s", row)
+		for j, col := range t.Apps {
+			switch {
+			case i == j:
+				fmt.Fprintf(&b, "%7dKB", t.Size[row]/1024)
+			case j > i:
+				fmt.Fprintf(&b, "%7dKB", t.Overlap[row][col]/1024)
+			default:
+				fmt.Fprintf(&b, "%8.1f%%", 100*t.Sim[row][col])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	min, minPair, max, maxPair := t.MinMaxSimilarity()
+	fmt.Fprintf(&b, "\nsimilarity range: %.1f%% (%s vs %s) … %.1f%% (%s vs %s)\n",
+		100*min, minPair[0], minPair[1], 100*max, maxPair[0], maxPair[1])
+	return b.String()
+}
+
+// UnionView returns the union of all profiled views — the system-wide
+// minimized kernel used as the comparison baseline in Section IV-A2.
+func (t *Table1) UnionView() *kview.View {
+	vs := make([]*kview.View, 0, len(t.Apps))
+	for _, a := range t.Apps {
+		vs = append(vs, t.Views[a])
+	}
+	return kview.UnionViews("union", vs...)
+}

@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"facechange"
+)
+
+func TestTable2SecurityEvaluation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 16 attacks x 4 scenarios")
+	}
+	tab, err := RunTable1(facechange.ProfileConfig{Syscalls: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunTable2(tab.Views, tab.UnionView(), Table2Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 16 {
+		t.Fatalf("%d attacks, want 16", len(results))
+	}
+	t.Logf("\n%s", FormatTable2(results))
+	for _, r := range results {
+		if !r.FCDetected {
+			t.Errorf("FACE-CHANGE missed %s (paper: detects all 16)", r.Attack.Name)
+		}
+	}
+	// The case-study blind spots: the union (system-wide minimized) view
+	// misses the user-level payloads whose kernel code other applications
+	// already require (case studies I-III).
+	for _, name := range []string{"Injectso", "Cymothoa v4", "Infelf v2", "Xlibtrace", "Arches"} {
+		for _, r := range results {
+			if r.Attack.Name == name && r.UnionDetected {
+				t.Errorf("union view should miss %s (evidence: %v)", name, r.UnionEvidence)
+			}
+		}
+	}
+	// Evidence spot checks from the paper's figures.
+	evidence := map[string]string{}
+	for _, r := range results {
+		evidence[r.Attack.Name] = strings.Join(r.FCEvidence, ",")
+	}
+	for attack, fn := range map[string]string{
+		"Injectso":    "udp_v4_get_port",       // Figure 4's bind chain
+		"Cymothoa v1": "inet_csk_listen_start", // the TCP server (bash itself forks, unlike the paper's bash workload)
+		"Cymothoa v2": "sys_clone",
+		"Cymothoa v3": "sys_setitimer",
+		"KBeast":      "filp_open", // Figure 5
+		"Sebek":       "sebek",     // its own module code recovered
+		"Adore-ng":    "adore",
+	} {
+		if !strings.Contains(evidence[attack], fn) {
+			t.Errorf("%s evidence %q lacks %s", attack, evidence[attack], fn)
+		}
+	}
+}

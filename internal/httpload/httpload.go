@@ -1,0 +1,94 @@
+// Package httpload reimplements the paper's httperf experiment (Figure 7):
+// an open-loop HTTP load generator driving the Apache server inside the
+// guest at a configurable request rate, measuring served throughput. The
+// generator is external to the VM (it consumes no guest CPU), exactly like
+// httperf running on the host network.
+package httpload
+
+import (
+	"fmt"
+
+	"facechange/internal/kernel"
+)
+
+// CyclesPerSecond converts between simulated cycles and wall-clock seconds
+// for rate computations (the guest's nominal clock).
+const CyclesPerSecond = 5_000_000
+
+// RequestUserWork is the user-space CPU cost Apache spends per request
+// (parsing, handler, logging), calibrated so the server's capacity falls
+// in the paper's 55–60 req/s region on the simulated CPU.
+const RequestUserWork = 46000
+
+// ServerScript is the Apache worker loop: accept a connection, read the
+// request, send the response (static file via sendfile) and write an
+// access-log record.
+func ServerScript() kernel.Script {
+	return &kernel.LoopScript{Calls: []kernel.Syscall{
+		{Nr: kernel.SysAccept, Sock: kernel.SockTCP, Blocks: 1},
+		{Nr: kernel.SysRead, File: kernel.FileSocketFD, Sock: kernel.SockTCP, UserWork: RequestUserWork},
+		{Nr: kernel.SysSendfile, File: kernel.FileExt4},
+		{Nr: kernel.SysWrite, File: kernel.FileSocketFD, Sock: kernel.SockTCP},
+		{Nr: kernel.SysWrite, File: kernel.FileExt4, UserWork: RequestUserWork / 4},
+	}}
+}
+
+// callsPerRequest is the number of system calls per served request in
+// ServerScript.
+const callsPerRequest = 5
+
+// Result is one point of the rate sweep.
+type Result struct {
+	// OfferedRPS is the generator's request rate.
+	OfferedRPS float64
+	// ServedRPS is the measured reply throughput.
+	ServedRPS float64
+}
+
+// Workers is the size of the prefork server pool (the paper's httperf run
+// uses 100 concurrent connections against a multi-process Apache).
+const Workers = 4
+
+// StartServers launches the prefork worker pool on the guest.
+func StartServers(k *kernel.Kernel) []*kernel.Task {
+	servers := make([]*kernel.Task, 0, Workers)
+	for i := 0; i < Workers; i++ {
+		servers = append(servers, k.StartTask(kernel.TaskSpec{
+			Name:   "apache",
+			Script: ServerScript(),
+		}))
+	}
+	return servers
+}
+
+// Run drives the server pool at rate req/s for the given number of
+// simulated seconds and returns the served throughput. The pool must
+// already be started (StartServers).
+func Run(k *kernel.Kernel, servers []*kernel.Task, rate float64, seconds float64) (Result, error) {
+	if rate <= 0 || seconds <= 0 {
+		return Result{}, fmt.Errorf("httpload: rate and duration must be positive")
+	}
+	period := uint64(float64(CyclesPerSecond) / rate)
+	k.SetNICRate(period, kernel.SockTCP)
+	defer k.SetNICRate(0, kernel.SockNone)
+
+	count := func() uint64 {
+		var n uint64
+		for _, s := range servers {
+			n += s.SyscallsDone
+		}
+		return n
+	}
+	before := count()
+	budget := uint64(seconds * CyclesPerSecond)
+	start := k.M.Cycles()
+	if err := k.M.Run(budget, nil); err != nil {
+		return Result{}, fmt.Errorf("httpload: %w", err)
+	}
+	elapsed := k.M.Cycles() - start
+	served := (count() - before) / callsPerRequest
+	return Result{
+		OfferedRPS: rate,
+		ServedRPS:  float64(served) * CyclesPerSecond / float64(elapsed),
+	}, nil
+}

@@ -1,0 +1,76 @@
+package httpload
+
+import (
+	"testing"
+
+	"facechange/internal/kernel"
+)
+
+func boot(t *testing.T) (*kernel.Kernel, []*kernel.Task) {
+	t.Helper()
+	k, err := kernel.New(kernel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := StartServers(k)
+	if err := k.M.Run(CyclesPerSecond/2, nil); err != nil {
+		t.Fatal(err)
+	}
+	return k, servers
+}
+
+func TestServedTracksOfferedBelowCapacity(t *testing.T) {
+	k, servers := boot(t)
+	res, err := Run(k, servers, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OfferedRPS != 20 {
+		t.Errorf("offered = %v", res.OfferedRPS)
+	}
+	if res.ServedRPS < 18 || res.ServedRPS > 23 {
+		t.Errorf("served %.2f rps at offered 20 (should track the offered rate)", res.ServedRPS)
+	}
+}
+
+func TestServedSaturatesAboveCapacity(t *testing.T) {
+	k, servers := boot(t)
+	res, err := Run(k, servers, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedRPS > 90 {
+		t.Errorf("served %.2f rps at offered 200: no saturation?", res.ServedRPS)
+	}
+	if res.ServedRPS < 30 {
+		t.Errorf("served %.2f rps at offered 200: capacity collapsed", res.ServedRPS)
+	}
+}
+
+func TestRunValidatesArguments(t *testing.T) {
+	k, servers := boot(t)
+	if _, err := Run(k, servers, 0, 1); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if _, err := Run(k, servers, 10, 0); err == nil {
+		t.Error("zero duration should fail")
+	}
+}
+
+func TestBackToBackRunsAreIndependent(t *testing.T) {
+	k, servers := boot(t)
+	lo, err := Run(k, servers, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Run(k, servers, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.ServedRPS > 14 {
+		t.Errorf("low-rate run served %.2f rps", lo.ServedRPS)
+	}
+	if hi.ServedRPS < 34 {
+		t.Errorf("high-rate run served %.2f rps after a low-rate run", hi.ServedRPS)
+	}
+}

@@ -1,0 +1,48 @@
+package hv
+
+// CostConfig is the simulated cycle-cost model. Instruction execution costs
+// one cycle; hypervisor involvement costs the amounts below, calibrated to
+// the relative magnitudes of real VM exits vs. guest execution so that
+// Figure 6/7-style overheads emerge from mechanism, not from hardcoded
+// percentages.
+type CostConfig struct {
+	// VMExit is the base cost of any trap into the hypervisor (world
+	// switch + dispatch).
+	VMExit uint64
+	// VMIRead is the cost of one virtual-machine-introspection read of
+	// guest state by the hypervisor.
+	VMIRead uint64
+	// EPTPDSwap is the cost of replacing one EPT page-directory entry.
+	EPTPDSwap uint64
+	// EPTPTESwap is the cost of replacing one EPT page-table entry.
+	EPTPTESwap uint64
+	// RecoveryBase is the fixed cost of one kernel-code recovery (prologue
+	// scan, logging, backtrace).
+	RecoveryBase uint64
+	// RecoveryPerByte is the per-byte cost of copying recovered code.
+	RecoveryPerByte uint64
+	// Int is the guest-side cost of a syscall/interrupt entry.
+	Int uint64
+	// Iret is the guest-side cost of an interrupt return.
+	Iret uint64
+	// TaskSwitch is the guest-side cost of the hardware context switch.
+	TaskSwitch uint64
+	// CallInd is the extra cost of an indirect call.
+	CallInd uint64
+}
+
+// DefaultCosts returns the calibrated cost model.
+func DefaultCosts() CostConfig {
+	return CostConfig{
+		VMExit:          2000,
+		VMIRead:         320,
+		EPTPDSwap:       90,
+		EPTPTESwap:      60,
+		RecoveryBase:    6000,
+		RecoveryPerByte: 2,
+		Int:             120,
+		Iret:            80,
+		TaskSwitch:      150,
+		CallInd:         2,
+	}
+}

@@ -1,0 +1,100 @@
+// Package hv implements the virtual machine monitor side of the simulated
+// machine: virtual CPUs, the instruction interpreter, VM exits (address
+// traps and invalid-opcode traps) and a calibrated cycle-cost model.
+//
+// FACE-CHANGE's runtime component hooks this layer the way the paper's
+// prototype hooks KVM: it registers an ExitHandler, receives control on
+// context-switch address traps and UD2 invalid-opcode exits, and
+// manipulates each vCPU's EPT.
+package hv
+
+import (
+	"fmt"
+
+	"facechange/internal/mem"
+)
+
+// Mode is the CPU privilege mode.
+type Mode uint8
+
+// Privilege modes.
+const (
+	ModeUser Mode = iota
+	ModeKernel
+)
+
+// CPU is one virtual CPU.
+type CPU struct {
+	ID   int
+	EIP  uint32
+	ESP  uint32
+	EBP  uint32
+	EAX  uint32
+	Mode Mode
+
+	// EPT is this vCPU's extended page table ("each vCPU has its own EPT
+	// maintained by the hypervisor", Section V-C).
+	EPT *mem.EPT
+
+	// as is the current guest address space (switched with the current
+	// task's mm).
+	as   *mem.AddressSpace
+	host *mem.Host
+
+	// Halted is set while the CPU waits for an interrupt.
+	Halted bool
+}
+
+// NewCPU creates a vCPU with its own identity-mapped EPT.
+func NewCPU(id int, host *mem.Host) *CPU {
+	return &CPU{ID: id, EPT: mem.NewEPT(), host: host}
+}
+
+// SetAddressSpace switches the CPU's active guest address space.
+func (c *CPU) SetAddressSpace(as *mem.AddressSpace) { c.as = as }
+
+// AddressSpace returns the CPU's active guest address space.
+func (c *CPU) AddressSpace() *mem.AddressSpace { return c.as }
+
+// Mem returns an accessor for guest virtual memory as seen by this CPU
+// right now (through its address space and EPT).
+func (c *CPU) Mem() mem.Accessor {
+	return mem.Accessor{AS: c.as, EPT: c.EPT, Host: c.host}
+}
+
+// Push pushes a 32-bit value onto the stack.
+func (c *CPU) Push(v uint32) error {
+	c.ESP -= 4
+	return c.Mem().WriteU32(c.ESP, v)
+}
+
+// Pop pops a 32-bit value from the stack.
+func (c *CPU) Pop() (uint32, error) {
+	v, err := c.Mem().ReadU32(c.ESP)
+	if err != nil {
+		return 0, err
+	}
+	c.ESP += 4
+	return v, nil
+}
+
+// Regs is a snapshot of schedulable CPU state, saved and restored across
+// task switches.
+type Regs struct {
+	EIP, ESP, EBP, EAX uint32
+	Mode               Mode
+}
+
+// SaveRegs captures the CPU's schedulable state.
+func (c *CPU) SaveRegs() Regs {
+	return Regs{EIP: c.EIP, ESP: c.ESP, EBP: c.EBP, EAX: c.EAX, Mode: c.Mode}
+}
+
+// LoadRegs restores previously saved state.
+func (c *CPU) LoadRegs(r Regs) {
+	c.EIP, c.ESP, c.EBP, c.EAX, c.Mode = r.EIP, r.ESP, r.EBP, r.EAX, r.Mode
+}
+
+func (c *CPU) String() string {
+	return fmt.Sprintf("cpu%d eip=%#x esp=%#x ebp=%#x mode=%d", c.ID, c.EIP, c.ESP, c.EBP, c.Mode)
+}

@@ -1,0 +1,49 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DisasmLine is one disassembled instruction.
+type DisasmLine struct {
+	Addr  uint32
+	Bytes []byte
+	Inst  Inst
+}
+
+// String formats the line like an objdump listing, resolving relative
+// targets to absolute addresses.
+func (l DisasmLine) String() string {
+	var target string
+	switch l.Inst.Op {
+	case OpCall, OpJmp, OpJmpShort, OpJz, OpJnz:
+		abs := l.Addr + l.Inst.Len + uint32(int32(l.Inst.Imm))
+		target = fmt.Sprintf(" → 0x%08x", abs)
+	}
+	hex := make([]string, len(l.Bytes))
+	for i, b := range l.Bytes {
+		hex[i] = fmt.Sprintf("%02x", b)
+	}
+	return fmt.Sprintf("%08x: %-21s %s%s", l.Addr, strings.Join(hex, " "), l.Inst, target)
+}
+
+// Disasm decodes code loaded at base into a listing. Undecodable bytes
+// appear as single-byte (invalid) lines, so the walk always terminates.
+func Disasm(code []byte, base uint32) []DisasmLine {
+	var out []DisasmLine
+	for off := 0; off < len(code); {
+		in := Decode(code[off:])
+		n := int(in.Len)
+		if off+n > len(code) {
+			n = len(code) - off
+		}
+		out = append(out, DisasmLine{
+			Addr:  base + uint32(off),
+			Bytes: code[off : off+n],
+			Inst:  in,
+		})
+		off += n
+	}
+	return out
+}

@@ -1,0 +1,312 @@
+// Package kernel models the guest operating system: a synthetic Linux-like
+// kernel whose code section is *generated as real machine bytes* from a
+// catalog of kernel functions, plus the runtime state machine (tasks,
+// scheduler, system calls, interrupts, loadable modules) that drives
+// execution of those bytes on the simulated CPU.
+//
+// The paper profiles and minimizes a Linux 2.6.32 i386 guest. We reproduce
+// the properties its mechanisms depend on: functions aligned on power-of-two
+// boundaries with the 0x55 0x89 0xE5 prologue, system calls dispatched
+// through an indirect syscall table, VFS/socket operations dispatched
+// through function-pointer tables (hijackable by rootkits), module code
+// loaded at runtime into the kernel heap at module-relative addresses, and
+// interrupt handler code not attached to any process context.
+package kernel
+
+// Slot identifies a kernel function-pointer table through which indirect
+// calls are dispatched. Slots model the syscall table, VFS file_operations,
+// socket proto_ops, clocksource ops and tty line-discipline hooks. Rootkits
+// hijack control flow by hooking slot entries.
+type Slot uint32
+
+// Function-pointer tables in the synthetic kernel.
+const (
+	// SlotSyscall dispatches by system-call number (the syscall table).
+	SlotSyscall Slot = iota
+	// SlotFileRead dispatches file read by FileKind (file_operations.read).
+	SlotFileRead
+	// SlotFileWrite dispatches file write by FileKind.
+	SlotFileWrite
+	// SlotFilePoll dispatches poll by FileKind (file_operations.poll).
+	SlotFilePoll
+	// SlotFileOpen dispatches path-type specific open by FileKind.
+	SlotFileOpen
+	// SlotFileIoctl dispatches ioctl by FileKind.
+	SlotFileIoctl
+	// SlotSockCreate dispatches socket creation by SockFam (net_families).
+	SlotSockCreate
+	// SlotSockBind dispatches bind by SockFam (proto_ops.bind).
+	SlotSockBind
+	// SlotSockConnect dispatches connect by SockFam.
+	SlotSockConnect
+	// SlotSockSendmsg dispatches sendmsg by SockFam.
+	SlotSockSendmsg
+	// SlotSockRecvmsg dispatches recvmsg by SockFam.
+	SlotSockRecvmsg
+	// SlotSockAccept dispatches accept by SockFam.
+	SlotSockAccept
+	// SlotSockListen dispatches listen by SockFam.
+	SlotSockListen
+	// SlotSockPoll dispatches socket poll by SockFam.
+	SlotSockPoll
+	// SlotClockRead dispatches the active clocksource's read function. The
+	// paper's guest uses TSC under QEMU profiling and kvmclock under KVM at
+	// runtime, producing the benign kvm_clock_get_cycles recovery chain.
+	SlotClockRead
+	// SlotTTYReceive dispatches keyboard input into the tty line
+	// discipline.
+	SlotTTYReceive
+	// SlotDirIterate dispatches getdents by FileKind.
+	SlotDirIterate
+	// SlotFSync dispatches fsync by FileKind.
+	SlotFSync
+	// SlotProtoSendmsg dispatches the inet layer's per-protocol sendmsg
+	// (tcp_sendmsg vs udp_sendmsg).
+	SlotProtoSendmsg
+	// SlotProtoRecvmsg dispatches the inet layer's per-protocol recvmsg.
+	SlotProtoRecvmsg
+	// SlotProtoGetPort dispatches bind's port allocation by protocol.
+	SlotProtoGetPort
+	// SlotIRQ dispatches the active interrupt vector's handler.
+	SlotIRQ
+	// SlotNetProto dispatches received frames by protocol family (L3).
+	SlotNetProto
+	// SlotNetProtoL4 dispatches IP-delivered packets to TCP or UDP.
+	SlotNetProtoL4
+	// SlotSchedPick dispatches the scheduler class's pick_next_task. Its
+	// resolution is where the runtime commits to the next task and updates
+	// the guest's rq->curr pointer — which is why hypervisor VMI at the
+	// subsequent context_switch trap sees the incoming task, as on real
+	// Linux.
+	SlotSchedPick
+	numSlots
+)
+
+// NumSlots is the number of function-pointer tables.
+const NumSlots = int(numSlots)
+
+// CondKey identifies a data-dependent branch in generated kernel code. The
+// branch body executes iff the kernel's condition evaluator returns true at
+// run time; this models parameter- and state-dependent kernel paths
+// (Section II: "different values passed as parameters to the same system
+// calls may lead to totally different execution paths").
+type CondKey uint32
+
+// Branch conditions evaluated by the kernel runtime.
+const (
+	// CondNone never executes its body.
+	CondNone CondKey = iota
+	// CondNeedResched is true when the scheduler tick expired the current
+	// task's quantum (checked on the interrupt return path).
+	CondNeedResched
+	// CondBlock is true when the in-flight system call should block here
+	// (wait queues: empty pipe, idle socket, futex wait).
+	CondBlock
+	// CondRare is true when the in-flight system call was scripted to take
+	// a rarely exercised path — used to demonstrate incomplete profiling.
+	CondRare
+	// CondSignalPending is true when the current task has a deliverable
+	// signal on the return-to-user path.
+	CondSignalPending
+	// CondJournal is true when a write requires an ext4 journal commit.
+	CondJournal
+	// CondNetRxPending is true when received frames await softirq
+	// processing.
+	CondNetRxPending
+	// CondTimerExpired is true when a task interval timer (setitimer/alarm)
+	// has expired on this tick.
+	CondTimerExpired
+	// CondUserReturn is true when the interrupt-return path is about to
+	// return to user mode, in which case it must route through
+	// resume_userspace (the shared exit path of entry_32.S).
+	CondUserReturn
+)
+
+// SysNo is a system-call number (i386 numbering where applicable).
+type SysNo uint32
+
+// System calls implemented by the synthetic kernel.
+const (
+	SysExit         SysNo = 1
+	SysFork         SysNo = 2
+	SysRead         SysNo = 3
+	SysWrite        SysNo = 4
+	SysOpen         SysNo = 5
+	SysClose        SysNo = 6
+	SysWaitpid      SysNo = 7
+	SysUnlink       SysNo = 10
+	SysChmod        SysNo = 15
+	SysLseek        SysNo = 19
+	SysPause        SysNo = 29
+	SysAccess       SysNo = 33
+	SysRename       SysNo = 38
+	SysMkdir        SysNo = 39
+	SysRmdir        SysNo = 40
+	SysSymlink      SysNo = 83
+	SysTruncate     SysNo = 92
+	SysExecve       SysNo = 11
+	SysGetpid       SysNo = 20
+	SysAlarm        SysNo = 27
+	SysKill         SysNo = 37
+	SysPipe         SysNo = 42
+	SysBrk          SysNo = 45
+	SysIoctl        SysNo = 54
+	SysFcntl        SysNo = 55
+	SysDup2         SysNo = 63
+	SysGettimeofday SysNo = 78
+	SysMmap         SysNo = 90
+	SysMunmap       SysNo = 91
+	SysMprotect     SysNo = 125
+	SysSocketcall   SysNo = 102
+	SysSetitimer    SysNo = 104
+	SysStat         SysNo = 106
+	SysSysinfo      SysNo = 116
+	SysFsync        SysNo = 118
+	SysClone        SysNo = 120
+	SysGetdents     SysNo = 141
+	SysSelect       SysNo = 142
+	SysMsync        SysNo = 144
+	SysReadv        SysNo = 145
+	SysWritev       SysNo = 146
+	SysSchedYield   SysNo = 158
+	SysNanosleep    SysNo = 162
+	SysPoll         SysNo = 168
+	SysRtSigreturn  SysNo = 173
+	SysRtSigaction  SysNo = 174
+	SysSendfile     SysNo = 187
+	SysFutex        SysNo = 240
+	SysEpollCreate  SysNo = 254
+	SysEpollCtl     SysNo = 255
+	SysEpollWait    SysNo = 256
+	SysInotifyInit  SysNo = 291
+	SysInotifyAdd   SysNo = 292
+	SysShmget       SysNo = 395
+	SysShmat        SysNo = 397
+	// Direct socket syscalls (modern i386 numbering).
+	SysSocket     SysNo = 359
+	SysBind       SysNo = 361
+	SysConnect    SysNo = 362
+	SysListen     SysNo = 363
+	SysAccept     SysNo = 364
+	SysSetsockopt SysNo = 366
+	SysSendto     SysNo = 369
+	SysRecvfrom   SysNo = 371
+	SysShutdown   SysNo = 373
+)
+
+// FileKind selects the VFS dispatch target for fd-based system calls,
+// modelling Linux's vfs interface: "a read system call for disk-based files
+// in ext4-fs and memory-based files in procfs will be dispatched to
+// entirely different portions of the kernel's code" (Section II).
+type FileKind uint8
+
+// File kinds.
+const (
+	FileNone FileKind = iota
+	FileExt4
+	FileProcfs
+	FileTTY
+	FilePipe
+	FileDevNull
+	FileSocketFD
+	FileSound
+)
+
+// SockFam selects the protocol family for socket system calls.
+type SockFam uint8
+
+// Socket families.
+const (
+	SockNone SockFam = iota
+	SockTCP
+	SockUDP
+	SockUnix
+	SockPacket
+)
+
+// TaskSpec describes a process to create (for fork/clone/execve requests
+// and initial machine population).
+type TaskSpec struct {
+	Name   string
+	Script Script
+	// KernelEntry, when set, makes the task a kernel thread: it starts at
+	// the named kernel symbol in kernel mode and never returns to user
+	// space (kjournald, kswapd). Script is ignored.
+	KernelEntry string
+}
+
+// Syscall is one scripted system-call request: the number plus the
+// selectors that steer data-dependent dispatch inside the kernel.
+type Syscall struct {
+	Nr   SysNo
+	File FileKind // fd-based dispatch selector
+	Sock SockFam  // socket-family dispatch selector
+	// Blocks is how many times the call should block on a wait queue
+	// before completing.
+	Blocks int
+	// UserWork is the number of user-space computation cycles the process
+	// performs after this call returns (bulk-charged; user-space execution
+	// is irrelevant to kernel views).
+	UserWork uint64
+	// Spawn describes the child for fork/clone, or the replacement image
+	// for execve.
+	Spawn *TaskSpec
+	// Rare makes data-dependent CondRare branches execute during this call.
+	Rare bool
+	// Journal makes ext4 writes take the journal-commit path.
+	Journal bool
+	// SleepTicks stretches a timeout sleep (nanosleep etc.) to this many
+	// timer ticks instead of the default short wait — used by
+	// mostly-idle background workloads.
+	SleepTicks int
+}
+
+// ScriptItem is one element of a task's workload script.
+type ScriptItem struct {
+	Call Syscall
+}
+
+// Script supplies a task's system-call sequence. Next returns the next
+// request, or ok=false when the task should exit. Implementations must be
+// deterministic.
+type Script interface {
+	Next() (Syscall, bool)
+}
+
+// SliceScript replays a fixed sequence of system calls once.
+type SliceScript struct {
+	Calls []Syscall
+	pos   int
+}
+
+// Next implements Script.
+func (s *SliceScript) Next() (Syscall, bool) {
+	if s.pos >= len(s.Calls) {
+		return Syscall{}, false
+	}
+	c := s.Calls[s.pos]
+	s.pos++
+	return c, true
+}
+
+// LoopScript replays a fixed sequence of system calls forever.
+type LoopScript struct {
+	Calls []Syscall
+	pos   int
+}
+
+// Next implements Script.
+func (s *LoopScript) Next() (Syscall, bool) {
+	if len(s.Calls) == 0 {
+		return Syscall{}, false
+	}
+	c := s.Calls[s.pos]
+	s.pos = (s.pos + 1) % len(s.Calls)
+	return c, true
+}
+
+// FuncScript adapts a function to the Script interface.
+type FuncScript func() (Syscall, bool)
+
+// Next implements Script.
+func (f FuncScript) Next() (Syscall, bool) { return f() }

@@ -1,0 +1,114 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Func describes one generated kernel function.
+type Func struct {
+	Name string
+	// Sub is the subsystem the function belongs to (used by calibration
+	// and reporting, not by any runtime mechanism).
+	Sub string
+	// Module is the owning module name, or "" for the base kernel.
+	Module string
+	// Addr is the function's guest virtual load address. For module
+	// functions it is assigned when the module is loaded.
+	Addr uint32
+	// Size is the generated body size in bytes.
+	Size uint32
+}
+
+// End returns the first address past the function body.
+func (f *Func) End() uint32 { return f.Addr + f.Size }
+
+// SymbolTable resolves addresses to functions and names to addresses, like
+// System.map. FACE-CHANGE's provenance log uses it for demonstration only
+// ("symbols of kernel functions are not necessary for backtracking").
+type SymbolTable struct {
+	byName map[string]*Func
+	sorted []*Func // by Addr, only functions with assigned addresses
+}
+
+// NewSymbolTable builds a table over the given functions. Functions with
+// Addr==0 (unloaded modules) are indexed by name only until Rebuild is
+// called after loading.
+func NewSymbolTable(funcs []*Func) *SymbolTable {
+	st := &SymbolTable{byName: make(map[string]*Func, len(funcs))}
+	for _, f := range funcs {
+		if prev, dup := st.byName[f.Name]; dup {
+			panic(fmt.Sprintf("kernel: duplicate symbol %q (subsystems %s, %s)", f.Name, prev.Sub, f.Sub))
+		}
+		st.byName[f.Name] = f
+	}
+	st.Rebuild()
+	return st
+}
+
+// Rebuild re-sorts the address index; call after assigning module load
+// addresses.
+func (st *SymbolTable) Rebuild() {
+	st.sorted = st.sorted[:0]
+	for _, f := range st.byName {
+		if f.Addr != 0 {
+			st.sorted = append(st.sorted, f)
+		}
+	}
+	sort.Slice(st.sorted, func(i, j int) bool { return st.sorted[i].Addr < st.sorted[j].Addr })
+}
+
+// ByName returns the function with the given symbol name.
+func (st *SymbolTable) ByName(name string) (*Func, bool) {
+	f, ok := st.byName[name]
+	return f, ok
+}
+
+// MustAddr returns the address of a named symbol, panicking if missing —
+// for wiring that is a build-time invariant of the generated kernel.
+func (st *SymbolTable) MustAddr(name string) uint32 {
+	f, ok := st.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("kernel: no symbol %q", name))
+	}
+	if f.Addr == 0 {
+		panic(fmt.Sprintf("kernel: symbol %q has no address (module not loaded?)", name))
+	}
+	return f.Addr
+}
+
+// ByAddr returns the function containing addr, if any.
+func (st *SymbolTable) ByAddr(addr uint32) (*Func, bool) {
+	i := sort.Search(len(st.sorted), func(i int) bool { return st.sorted[i].Addr > addr })
+	if i == 0 {
+		return nil, false
+	}
+	f := st.sorted[i-1]
+	if addr >= f.End() {
+		return nil, false
+	}
+	return f, true
+}
+
+// Symbolize formats addr the way the paper's logs do: "name+0xoff", or
+// "UNKNOWN" when the address is not inside any identified function —
+// exactly how hidden rootkit code shows up in Figure 5.
+func (st *SymbolTable) Symbolize(addr uint32) string {
+	f, ok := st.ByAddr(addr)
+	if !ok {
+		return "UNKNOWN"
+	}
+	return fmt.Sprintf("%s+0x%x", f.Name, addr-f.Addr)
+}
+
+// Funcs returns all functions with assigned addresses, ordered by address.
+func (st *SymbolTable) Funcs() []*Func { return st.sorted }
+
+// All returns every function, loaded or not, in unspecified order.
+func (st *SymbolTable) All() []*Func {
+	out := make([]*Func, 0, len(st.byName))
+	for _, f := range st.byName {
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package kernel
+
+import "testing"
+
+// allSyscallsScript exercises every implemented system call once with
+// sensible selectors.
+func allSyscallsScript() []Syscall {
+	child := func() *TaskSpec {
+		return &TaskSpec{Name: "c", Script: &SliceScript{Calls: []Syscall{{Nr: SysExit}}}}
+	}
+	return []Syscall{
+		{Nr: SysFork, Spawn: child()},
+		{Nr: SysWaitpid, Blocks: 1},
+		{Nr: SysClone, Spawn: child()},
+		{Nr: SysRead, File: FileExt4},
+		{Nr: SysWrite, File: FileExt4, Journal: true},
+		{Nr: SysReadv, File: FileExt4},
+		{Nr: SysWritev, File: FileExt4},
+		{Nr: SysOpen, File: FileExt4},
+		{Nr: SysClose},
+		{Nr: SysLseek},
+		{Nr: SysAccess, File: FileExt4},
+		{Nr: SysChmod, File: FileExt4},
+		{Nr: SysRename, File: FileExt4},
+		{Nr: SysMkdir, File: FileExt4},
+		{Nr: SysRmdir, File: FileExt4},
+		{Nr: SysSymlink, File: FileExt4},
+		{Nr: SysTruncate, File: FileExt4},
+		{Nr: SysMsync},
+		{Nr: SysShmget},
+		{Nr: SysShmat},
+		{Nr: SysEpollCtl, File: FilePipe},
+		{Nr: SysUnlink, File: FileExt4},
+		{Nr: SysPause, Blocks: 1},
+		{Nr: SysGetpid},
+		{Nr: SysAlarm},
+		{Nr: SysKill},
+		{Nr: SysPipe},
+		{Nr: SysBrk},
+		{Nr: SysIoctl, File: FileTTY},
+		{Nr: SysFcntl},
+		{Nr: SysDup2},
+		{Nr: SysGettimeofday},
+		{Nr: SysMmap},
+		{Nr: SysMunmap},
+		{Nr: SysMprotect, Rare: true},
+		{Nr: SysSetitimer},
+		{Nr: SysStat, File: FileExt4},
+		{Nr: SysSysinfo},
+		{Nr: SysFsync, File: FileExt4},
+		{Nr: SysGetdents, File: FileExt4},
+		{Nr: SysSelect, File: FilePipe, Blocks: 1},
+		{Nr: SysSchedYield},
+		{Nr: SysNanosleep, Blocks: 1},
+		{Nr: SysPoll, File: FilePipe, Blocks: 1},
+		{Nr: SysRtSigaction},
+		{Nr: SysRtSigreturn},
+		{Nr: SysSendfile, File: FileExt4},
+		{Nr: SysFutex, Blocks: 1},
+		{Nr: SysEpollCreate},
+		{Nr: SysEpollWait, File: FilePipe, Blocks: 1},
+		{Nr: SysInotifyInit},
+		{Nr: SysInotifyAdd},
+		{Nr: SysSocket, Sock: SockTCP},
+		{Nr: SysBind, Sock: SockTCP},
+		{Nr: SysListen, Sock: SockTCP},
+		{Nr: SysAccept, Sock: SockTCP, Blocks: 1},
+		{Nr: SysSetsockopt, Sock: SockTCP},
+		{Nr: SysConnect, Sock: SockTCP, Blocks: 1},
+		{Nr: SysSendto, Sock: SockUDP},
+		{Nr: SysRecvfrom, Sock: SockUDP, Blocks: 1},
+		{Nr: SysShutdown, Sock: SockTCP},
+		{Nr: SysExecve, Spawn: &TaskSpec{Name: "x", Script: &SliceScript{Calls: []Syscall{
+			{Nr: SysExit},
+		}}}},
+	}
+}
+
+// TestEverySyscallDispatches drives all implemented system calls (with
+// blocking variants) through the generated kernel to completion, on both
+// clocksources and with every FileKind/SockFam variant of the VFS/socket
+// multiplexers.
+func TestEverySyscallDispatches(t *testing.T) {
+	for _, clock := range []ClockSource{ClockTSC, ClockKVM} {
+		k := buildTestKernel(t, Config{Clock: clock, KbdPeriod: 80000})
+		for _, m := range []string{"af_packet", "snd"} {
+			if _, err := k.LoadModule(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		task := k.StartTask(TaskSpec{Name: "allsys", Script: &SliceScript{Calls: allSyscallsScript()}})
+		task.SignalScript = FuncScript(func() (Syscall, bool) {
+			return Syscall{Nr: SysRtSigreturn}, true
+		})
+		runKernel(t, k, 10_000_000_000, k.AllScriptsDone)
+		if task.State != TaskDead {
+			t.Fatalf("clock %v: task stuck in %v (wait %v, done %d)",
+				clock, task.State, task.Wait, task.SyscallsDone)
+		}
+		if task.SyscallsDone < 60 {
+			t.Errorf("clock %v: only %d syscalls completed", clock, task.SyscallsDone)
+		}
+	}
+}
+
+// TestEveryFileKindReadWrite drives the VFS multiplexers across all file
+// kinds.
+func TestEveryFileKindReadWrite(t *testing.T) {
+	k := buildTestKernel(t, Config{Clock: ClockTSC, KbdPeriod: 80000})
+	if _, err := k.LoadModule("snd"); err != nil {
+		t.Fatal(err)
+	}
+	var calls []Syscall
+	for _, fk := range []FileKind{FileExt4, FileProcfs, FileTTY, FilePipe, FileDevNull, FileSound} {
+		calls = append(calls,
+			Syscall{Nr: SysOpen, File: fk},
+			Syscall{Nr: SysRead, File: fk},
+			Syscall{Nr: SysWrite, File: fk},
+			Syscall{Nr: SysPoll, File: fk},
+			Syscall{Nr: SysIoctl, File: fk},
+			Syscall{Nr: SysFsync, File: fk},
+		)
+	}
+	calls = append(calls, Syscall{Nr: SysExit})
+	task := k.StartTask(TaskSpec{Name: "vfs", Script: &SliceScript{Calls: calls}})
+	runKernel(t, k, 5_000_000_000, k.AllScriptsDone)
+	if task.State != TaskDead {
+		t.Fatalf("vfs sweep stuck: %v", task.State)
+	}
+}
+
+// TestEverySockFam drives the socket multiplexers across all families.
+func TestEverySockFam(t *testing.T) {
+	k := buildTestKernel(t, Config{Clock: ClockTSC})
+	if _, err := k.LoadModule("af_packet"); err != nil {
+		t.Fatal(err)
+	}
+	var calls []Syscall
+	for _, fam := range []SockFam{SockTCP, SockUDP, SockUnix, SockPacket} {
+		calls = append(calls,
+			Syscall{Nr: SysSocket, Sock: fam},
+			Syscall{Nr: SysBind, Sock: fam},
+			Syscall{Nr: SysSendto, Sock: fam},
+			Syscall{Nr: SysRecvfrom, Sock: fam, Blocks: 1},
+		)
+	}
+	// Stream-only operations.
+	for _, fam := range []SockFam{SockTCP, SockUnix} {
+		calls = append(calls,
+			Syscall{Nr: SysListen, Sock: fam},
+			Syscall{Nr: SysAccept, Sock: fam, Blocks: 1},
+			Syscall{Nr: SysConnect, Sock: fam, Blocks: 1},
+		)
+	}
+	calls = append(calls, Syscall{Nr: SysExit})
+	task := k.StartTask(TaskSpec{Name: "socks", Script: &SliceScript{Calls: calls}})
+	runKernel(t, k, 5_000_000_000, k.AllScriptsDone)
+	if task.State != TaskDead {
+		t.Fatalf("socket sweep stuck: %v (wait %v)", task.State, task.Wait)
+	}
+}
+
+func TestUnimplementedSyscallFails(t *testing.T) {
+	k := buildTestKernel(t, Config{Clock: ClockTSC})
+	k.StartTask(TaskSpec{Name: "bad", Script: &SliceScript{Calls: []Syscall{
+		{Nr: SysNo(9999)},
+	}}})
+	if err := k.M.Run(10_000_000, k.AllScriptsDone); err == nil {
+		t.Error("dispatching an unimplemented syscall must fail loudly")
+	}
+}

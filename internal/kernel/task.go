@@ -1,0 +1,124 @@
+package kernel
+
+import (
+	"facechange/internal/hv"
+	"facechange/internal/mem"
+)
+
+// TaskState is a task's scheduler state.
+type TaskState uint8
+
+// Task states.
+const (
+	TaskRunnable TaskState = iota
+	TaskRunning
+	TaskSleeping
+	TaskDead
+)
+
+// WaitKind classifies what a sleeping task is waiting for, which
+// determines the hardware event that wakes it.
+type WaitKind uint8
+
+// Wait kinds.
+const (
+	WaitNone WaitKind = iota
+	// WaitTimer wakes after a timeout (nanosleep, pipe peers, futex, ...).
+	WaitTimer
+	// WaitDisk wakes on disk-interrupt completion (page cache miss).
+	WaitDisk
+	// WaitNIC wakes on network receive for the task's socket family.
+	WaitNIC
+	// WaitKbd wakes on keyboard input (tty read).
+	WaitKbd
+	// WaitPipe wakes when a peer writes the pipe.
+	WaitPipe
+	// WaitChild wakes when a child exits (waitpid).
+	WaitChild
+	// WaitSignal wakes on signal delivery (pause).
+	WaitSignal
+)
+
+type savedFrame struct {
+	regs hv.Regs
+	irq  bool
+}
+
+// Task is one guest process.
+type Task struct {
+	PID  int
+	Slot int
+	Name string
+
+	Script Script
+	// SignalScript, when set, supplies the system calls executed by the
+	// task's signal handler (a parasite payload in the malware scenarios).
+	SignalScript Script
+	// kernelThread marks a task that lives entirely in kernel mode.
+	kernelThread bool
+
+	State TaskState
+	Wait  WaitKind
+	// WakeAt is the cycle deadline for WaitTimer sleeps (and the fallback
+	// for event waits).
+	WakeAt uint64
+
+	regs   hv.Regs
+	frames []savedFrame
+	as     *mem.AddressSpace
+	// userPages are the task's user code/stack guest-physical pages,
+	// recycled when the task dies.
+	userPages [2]uint32
+
+	// cur is the in-flight system call.
+	cur        Syscall
+	inSyscall  bool
+	blocksLeft int
+	// pendingSleep is set by a CondBlock evaluation; consumed at the next
+	// task switch.
+	pendingSleep WaitKind
+	// exitPending marks a task that issued sys_exit.
+	exitPending bool
+	// pendingExec holds the execve replacement applied at syscall return.
+	pendingExec *TaskSpec
+
+	// Signal state.
+	sigHandler  bool
+	sigPending  bool
+	inSignal    bool
+	itimerEvery uint64 // ticks between SIGALRM deliveries; 0 = disarmed
+	itimerNext  uint64 // tickCount of next expiry
+
+	parent *Task
+	// cpu is the vCPU the task is pinned to ("each process ... is pinned
+	// to one CPU during execution", Section V-C).
+	cpu int
+	// ranTicks counts scheduler ticks since last dispatch (quantum
+	// accounting).
+	ranTicks int
+
+	// Stats.
+	SyscallsDone uint64
+}
+
+// kstackTop returns the initial kernel stack pointer for the task.
+func (t *Task) kstackTop() uint32 {
+	return mem.KernelStackGVA + uint32(t.Slot+1)*mem.KernelStackSize - 16
+}
+
+// nextSyscall pops the next scripted system call, honouring an active
+// signal-handler script.
+func (t *Task) nextSyscall() (Syscall, bool) {
+	if t.inSignal && t.SignalScript != nil {
+		if c, ok := t.SignalScript.Next(); ok {
+			return c, true
+		}
+		// Handler script drained without an explicit sigreturn: fall
+		// through to the main script.
+		t.inSignal = false
+	}
+	if t.Script == nil {
+		return Syscall{}, false
+	}
+	return t.Script.Next()
+}

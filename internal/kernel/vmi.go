@@ -1,0 +1,104 @@
+package kernel
+
+import (
+	"fmt"
+
+	"facechange/internal/mem"
+)
+
+// Guest-memory layout of introspectable kernel data. FACE-CHANGE (the
+// hypervisor side) reads these structures with VMI exactly as the paper's
+// prototype reads the guest's task structs and module list — it never
+// calls into the kernel runtime for information that a real hypervisor
+// could only get from guest memory.
+const (
+	// VMICurrentBase holds one 4-byte pointer per CPU to the current
+	// task's task struct.
+	VMICurrentBase = mem.KernelDataGVA
+	// VMIRQCurrBase holds one 4-byte pointer per CPU to the task committed
+	// by the scheduler pick (rq->curr) — valid from the pick until the
+	// hardware switch, which is exactly when FACE-CHANGE's context-switch
+	// trap reads it.
+	VMIRQCurrBase = mem.KernelDataGVA + 0x80
+	// VMITaskBase is the task-struct array (indexed by task slot).
+	VMITaskBase = mem.KernelDataGVA + 0x100
+	// VMITaskStride is the size of one task struct.
+	VMITaskStride = 64
+	// VMITaskPIDOff / VMITaskStateOff / VMITaskCommOff are field offsets
+	// within a task struct.
+	VMITaskPIDOff   = 0
+	VMITaskStateOff = 4
+	VMITaskCommOff  = 8
+	// VMICommLen is the comm field length (TASK_COMM_LEN).
+	VMICommLen = 16
+	// VMIModCountAddr holds the number of visible modules.
+	VMIModCountAddr = mem.KernelDataGVA + 0x4000
+	// VMIModListBase is the module array: base, size, name per entry.
+	VMIModListBase = mem.KernelDataGVA + 0x4010
+	// VMIModStride is the size of one module entry.
+	VMIModStride = 32
+	// VMIModNameLen is the module name field length.
+	VMIModNameLen = 24
+)
+
+func gpaOf(gva uint32) uint32 { return gva - mem.KernelBase }
+
+func (k *Kernel) writeVMICurrent(cpuID int, t *Task) {
+	addr := gpaOf(VMICurrentBase) + uint32(cpuID)*4
+	taskGVA := VMITaskBase + uint32(t.Slot)*VMITaskStride
+	if err := k.Host.WriteU32(addr, taskGVA); err != nil {
+		panic(fmt.Sprintf("kernel: vmi current: %v", err))
+	}
+}
+
+func (k *Kernel) writeVMIRQCurr(cpuID int, t *Task) {
+	addr := gpaOf(VMIRQCurrBase) + uint32(cpuID)*4
+	taskGVA := VMITaskBase + uint32(t.Slot)*VMITaskStride
+	if err := k.Host.WriteU32(addr, taskGVA); err != nil {
+		panic(fmt.Sprintf("kernel: vmi rq curr: %v", err))
+	}
+}
+
+func (k *Kernel) writeVMITask(t *Task) {
+	base := gpaOf(VMITaskBase) + uint32(t.Slot)*VMITaskStride
+	if err := k.Host.WriteU32(base+VMITaskPIDOff, uint32(t.PID)); err != nil {
+		panic(fmt.Sprintf("kernel: vmi task: %v", err))
+	}
+	if err := k.Host.WriteU32(base+VMITaskStateOff, uint32(t.State)); err != nil {
+		panic(fmt.Sprintf("kernel: vmi task: %v", err))
+	}
+	comm := make([]byte, VMICommLen)
+	copy(comm, t.Name)
+	if err := k.Host.Write(base+VMITaskCommOff, comm); err != nil {
+		panic(fmt.Sprintf("kernel: vmi task: %v", err))
+	}
+}
+
+// writeVMIModules rewrites the guest-visible module list (hidden modules
+// are omitted, which is precisely the rootkit blind spot the paper
+// discusses).
+func (k *Kernel) writeVMIModules() {
+	var visible []*ModuleInfo
+	for _, m := range k.modules {
+		if m.Visible {
+			visible = append(visible, m)
+		}
+	}
+	if err := k.Host.WriteU32(gpaOf(VMIModCountAddr), uint32(len(visible))); err != nil {
+		panic(fmt.Sprintf("kernel: vmi modules: %v", err))
+	}
+	for i, m := range visible {
+		base := gpaOf(VMIModListBase) + uint32(i)*VMIModStride
+		if err := k.Host.WriteU32(base, m.Base); err != nil {
+			panic(fmt.Sprintf("kernel: vmi modules: %v", err))
+		}
+		if err := k.Host.WriteU32(base+4, m.Size); err != nil {
+			panic(fmt.Sprintf("kernel: vmi modules: %v", err))
+		}
+		name := make([]byte, VMIModNameLen)
+		copy(name, m.Name)
+		if err := k.Host.Write(base+8, name); err != nil {
+			panic(fmt.Sprintf("kernel: vmi modules: %v", err))
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package kview
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertMergesAdjacent(t *testing.T) {
+	tests := []struct {
+		name string
+		ins  [][2]uint32
+		want RangeList
+	}{
+		{"single", [][2]uint32{{10, 20}}, RangeList{{10, 20}}},
+		{"disjoint", [][2]uint32{{10, 20}, {30, 40}}, RangeList{{10, 20}, {30, 40}}},
+		{"adjacent merge", [][2]uint32{{10, 20}, {20, 30}}, RangeList{{10, 30}}},
+		{"overlap merge", [][2]uint32{{10, 25}, {20, 30}}, RangeList{{10, 30}}},
+		{"contained", [][2]uint32{{10, 40}, {20, 30}}, RangeList{{10, 40}}},
+		{"bridge", [][2]uint32{{10, 20}, {30, 40}, {15, 35}}, RangeList{{10, 40}}},
+		{"prepend", [][2]uint32{{30, 40}, {10, 20}}, RangeList{{10, 20}, {30, 40}}},
+		{"empty range ignored", [][2]uint32{{10, 10}}, nil},
+		{"exact duplicate", [][2]uint32{{10, 20}, {10, 20}}, RangeList{{10, 20}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var l RangeList
+			for _, r := range tt.ins {
+				l = l.Insert(r[0], r[1])
+			}
+			if !reflect.DeepEqual(l, tt.want) {
+				t.Errorf("got %v, want %v", l, tt.want)
+			}
+		})
+	}
+}
+
+func TestContains(t *testing.T) {
+	l := RangeList{}.Insert(10, 20).Insert(30, 40)
+	for _, tc := range []struct {
+		addr uint32
+		want bool
+	}{{9, false}, {10, true}, {19, true}, {20, false}, {29, false}, {30, true}, {39, true}, {40, false}} {
+		if got := l.Contains(tc.addr); got != tc.want {
+			t.Errorf("Contains(%d) = %v, want %v", tc.addr, got, tc.want)
+		}
+	}
+}
+
+func TestSizeLen(t *testing.T) {
+	l := RangeList{}.Insert(0, 100).Insert(200, 250)
+	if l.Size() != 150 {
+		t.Errorf("Size = %d", l.Size())
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := RangeList{}.Insert(0, 100).Insert(200, 300)
+	b := RangeList{}.Insert(50, 250)
+	got := Intersect(a, b)
+	want := RangeList{{50, 100}, {200, 250}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if len(Intersect(a, nil)) != 0 {
+		t.Error("intersect with empty should be empty")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := RangeList{}.Insert(0, 10)
+	b := RangeList{}.Insert(5, 20).Insert(40, 50)
+	got := Union(a, b)
+	want := RangeList{{0, 20}, {40, 50}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+}
+
+// Property: Insert maintains sortedness, disjointness (with gaps) and total
+// coverage of every inserted address.
+func TestInsertInvariantProperty(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		var l RangeList
+		var points []uint32
+		for i := 0; i+1 < len(pairs); i += 2 {
+			s, e := uint32(pairs[i]), uint32(pairs[i])+uint32(pairs[i+1]%64)+1
+			l = l.Insert(s, e)
+			points = append(points, s, e-1)
+		}
+		for i := 0; i < len(l); i++ {
+			if l[i].Start >= l[i].End {
+				return false
+			}
+			if i > 0 && l[i-1].End >= l[i].Start {
+				return false // must be disjoint and non-adjacent after merging
+			}
+		}
+		for _, p := range points {
+			if !l.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SIZE(a ∩ b) ≤ MIN(SIZE(a), SIZE(b)), and intersection is
+// commutative.
+func TestIntersectBoundsProperty(t *testing.T) {
+	build := func(seed []uint16) RangeList {
+		var l RangeList
+		for i := 0; i+1 < len(seed); i += 2 {
+			s := uint32(seed[i])
+			l = l.Insert(s, s+uint32(seed[i+1]%128)+1)
+		}
+		return l
+	}
+	f := func(x, y []uint16) bool {
+		a, b := build(x), build(y)
+		ab, ba := Intersect(a, b), Intersect(b, a)
+		if !reflect.DeepEqual(ab, ba) && !(len(ab) == 0 && len(ba) == 0) {
+			return false
+		}
+		min := a.Size()
+		if s := b.Size(); s < min {
+			min = s
+		}
+		return ab.Size() <= min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewSimilaritySelf(t *testing.T) {
+	v := NewView("apache")
+	v.Insert(BaseKernel, 0x100, 0x200)
+	v.Insert("ext4", 0, 0x80)
+	if s := Similarity(v, v); s != 1.0 {
+		t.Errorf("self similarity = %v, want 1", s)
+	}
+}
+
+func TestViewSimilarityEquation(t *testing.T) {
+	// a: 300 bytes, b: 200 bytes, overlap: 100 → S = 100/300.
+	a := NewView("a")
+	a.Insert(BaseKernel, 0, 300)
+	b := NewView("b")
+	b.Insert(BaseKernel, 200, 400)
+	got := Similarity(a, b)
+	want := 100.0 / 300.0
+	if got != want {
+		t.Errorf("similarity = %v, want %v", got, want)
+	}
+	if Similarity(a, b) != Similarity(b, a) {
+		t.Error("similarity must be symmetric")
+	}
+}
+
+func TestViewModuleSpacesDoNotCollide(t *testing.T) {
+	// Same relative addresses in different modules must not count as
+	// overlap.
+	a := NewView("a")
+	a.Insert("modA", 0, 100)
+	b := NewView("b")
+	b.Insert("modB", 0, 100)
+	if OverlapSize(a, b) != 0 {
+		t.Error("distinct module spaces must not overlap")
+	}
+}
+
+func TestUnionViews(t *testing.T) {
+	a := NewView("a")
+	a.Insert(BaseKernel, 0, 100)
+	b := NewView("b")
+	b.Insert(BaseKernel, 50, 150)
+	b.Insert("ext4", 0, 10)
+	u := UnionViews("union", a, b)
+	if u.Size() != 160 {
+		t.Errorf("union size = %d, want 160", u.Size())
+	}
+	// Union must contain both inputs entirely.
+	for _, v := range []*View{a, b} {
+		if OverlapSize(u, v) != v.Size() {
+			t.Errorf("union does not cover %s", v.App)
+		}
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	v := NewView("vsftpd")
+	v.Insert(BaseKernel, 0xC0100000, 0xC0100800)
+	v.Insert(BaseKernel, 0xC0200000, 0xC0200100)
+	v.Insert("af_packet", 0x40, 0x200)
+	data, err := v.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != "vsftpd" {
+		t.Errorf("app = %q", got.App)
+	}
+	if !reflect.DeepEqual(got.Spaces, v.Spaces) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got.Spaces, v.Spaces)
+	}
+}
+
+func TestUnmarshalRejectsBadSegments(t *testing.T) {
+	if _, err := Unmarshal([]byte(`{"app":"x","segments":[{"start":10,"end":5}]}`)); err == nil {
+		t.Error("inverted segment must be rejected")
+	}
+	if _, err := Unmarshal([]byte(`{bad json`)); err == nil {
+		t.Error("bad json must be rejected")
+	}
+}
+
+func TestSpaceNamesSorted(t *testing.T) {
+	v := NewView("x")
+	v.Insert("zmod", 0, 1)
+	v.Insert(BaseKernel, 0, 1)
+	v.Insert("amod", 0, 1)
+	names := v.SpaceNames()
+	if !sort.StringsAreSorted(names) || names[0] != BaseKernel {
+		t.Errorf("SpaceNames = %v", names)
+	}
+}

@@ -1,0 +1,74 @@
+package kview
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Subtract returns the ranges of a not covered by b.
+func Subtract(a, b RangeList) RangeList {
+	var out RangeList
+	for _, r := range a {
+		lo := r.Start
+		i := sort.Search(len(b), func(i int) bool { return b[i].End > lo })
+		for lo < r.End {
+			if i >= len(b) || b[i].Start >= r.End {
+				out = append(out, Range{lo, r.End})
+				break
+			}
+			if b[i].Start > lo {
+				out = append(out, Range{lo, b[i].Start})
+			}
+			if b[i].End >= r.End {
+				break
+			}
+			lo = b[i].End
+			i++
+		}
+	}
+	return out
+}
+
+// SubtractViews returns the parts of a not covered by b, space-wise.
+func SubtractViews(a, b *View) *View {
+	out := NewView(a.App + "∖" + b.App)
+	for space, la := range a.Spaces {
+		d := Subtract(la, b.Spaces[space])
+		if len(d) > 0 {
+			out.Spaces[space] = d
+		}
+	}
+	return out
+}
+
+// Stats summarizes a view per space.
+type Stats struct {
+	Space  string
+	Ranges int
+	Bytes  uint64
+}
+
+// SpaceStats returns per-space statistics, base kernel first.
+func (v *View) SpaceStats() []Stats {
+	var out []Stats
+	for _, space := range v.SpaceNames() {
+		l := v.Spaces[space]
+		out = append(out, Stats{Space: space, Ranges: l.Len(), Bytes: l.Size()})
+	}
+	return out
+}
+
+// Summary renders a one-view report.
+func (v *View) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel view %q: %d KB in %d ranges\n", v.App, v.Size()/1024, v.Len())
+	for _, s := range v.SpaceStats() {
+		name := s.Space
+		if name == BaseKernel {
+			name = "(base kernel)"
+		}
+		fmt.Fprintf(&b, "  %-20s %4d ranges %8d bytes\n", name, s.Ranges, s.Bytes)
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package kview
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSubtract(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b RangeList
+		want RangeList
+	}{
+		{"disjoint", RangeList{{0, 10}}, RangeList{{20, 30}}, RangeList{{0, 10}}},
+		{"full cover", RangeList{{5, 10}}, RangeList{{0, 20}}, nil},
+		{"head clip", RangeList{{0, 10}}, RangeList{{0, 4}}, RangeList{{4, 10}}},
+		{"tail clip", RangeList{{0, 10}}, RangeList{{6, 12}}, RangeList{{0, 6}}},
+		{"hole punch", RangeList{{0, 10}}, RangeList{{3, 6}}, RangeList{{0, 3}, {6, 10}}},
+		{"multi holes", RangeList{{0, 20}}, RangeList{{2, 4}, {8, 10}, {15, 25}},
+			RangeList{{0, 2}, {4, 8}, {10, 15}}},
+		{"empty b", RangeList{{1, 2}}, nil, RangeList{{1, 2}}},
+		{"empty a", nil, RangeList{{1, 2}}, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Subtract(tt.a, tt.b)
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Subtract(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+// Property: Subtract is consistent with Intersect — SIZE(a∖b) + SIZE(a∩b)
+// == SIZE(a), and a∖b never overlaps b.
+func TestSubtractProperty(t *testing.T) {
+	build := func(seed []uint16) RangeList {
+		var l RangeList
+		for i := 0; i+1 < len(seed); i += 2 {
+			s := uint32(seed[i])
+			l = l.Insert(s, s+uint32(seed[i+1]%96)+1)
+		}
+		return l
+	}
+	f := func(x, y []uint16) bool {
+		a, b := build(x), build(y)
+		diff := Subtract(a, b)
+		inter := Intersect(a, b)
+		if diff.Size()+inter.Size() != a.Size() {
+			return false
+		}
+		return Intersect(diff, b).Size() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtractViews(t *testing.T) {
+	a := NewView("a")
+	a.Insert(BaseKernel, 0, 100)
+	a.Insert("m", 0, 50)
+	b := NewView("b")
+	b.Insert(BaseKernel, 0, 100)
+	d := SubtractViews(a, b)
+	if d.Ranges(BaseKernel).Len() != 0 {
+		t.Error("covered base ranges must vanish")
+	}
+	if d.Ranges("m").Size() != 50 {
+		t.Error("uncovered module ranges must remain")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	v := NewView("apache")
+	v.Insert(BaseKernel, 0x100, 0x500)
+	v.Insert("snd", 0, 0x80)
+	s := v.Summary()
+	for _, want := range []string{"apache", "(base kernel)", "snd"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+	stats := v.SpaceStats()
+	if len(stats) != 2 || stats[0].Space != BaseKernel || stats[0].Bytes != 0x400 {
+		t.Errorf("stats = %+v", stats)
+	}
+}

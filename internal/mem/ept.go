@@ -1,0 +1,126 @@
+package mem
+
+// The EPT is modelled at the paper's granularity: a two-level structure
+// where each page-directory (PD) entry covers 4 MB and points to a page
+// table (PT) of 1024 4 KB page-table entries (PTEs). FACE-CHANGE switches
+// the base kernel's view by swapping the PD entries that cover the kernel
+// text ("we modify the pointers to the page directory (level 2 in the
+// EPT)"), and switches scattered module code pages by rewriting individual
+// PTEs, reusing PD entries shared with kernel data (Section III-B2).
+
+const (
+	pdEntries = 1024
+	ptEntries = 1024
+	// PDSpan is the guest-physical span covered by one PD entry.
+	PDSpan uint32 = ptEntries * PageSize
+)
+
+// PT is one EPT page table: 1024 PTEs mapping GPA pages to HPA pages.
+// A PTE value is an HPA page base; PTEPresent must be set for validity.
+type PT struct {
+	entries [ptEntries]uint32
+	present [ptEntries]bool
+}
+
+// NewIdentityPT builds a PT that identity-maps the 4 MB region starting at
+// gpaBase.
+func NewIdentityPT(gpaBase uint32) *PT {
+	pt := &PT{}
+	for i := 0; i < ptEntries; i++ {
+		pt.entries[i] = gpaBase + uint32(i)*PageSize
+		pt.present[i] = true
+	}
+	return pt
+}
+
+// Set maps the idx'th page of the PT's region to hpaPage.
+func (pt *PT) Set(idx int, hpaPage uint32) {
+	pt.entries[idx] = hpaPage
+	pt.present[idx] = true
+}
+
+// Clone returns a copy of the page table.
+func (pt *PT) Clone() *PT {
+	c := *pt
+	return &c
+}
+
+// EPT maps guest physical to host physical addresses for one vCPU.
+// The zero value is not usable; construct with NewEPT.
+type EPT struct {
+	pd [pdEntries]*PT
+
+	// pdSwaps and pteSwaps count mapping updates since the last
+	// ResetCounters call; the hypervisor's cost model charges for them.
+	pdSwaps  uint64
+	pteSwaps uint64
+}
+
+// NewEPT creates an EPT with a full identity mapping of guest RAM. PD slots
+// are materialized lazily: a nil PD entry means identity.
+func NewEPT() *EPT { return &EPT{} }
+
+func pdIndex(gpa uint32) int { return int(gpa >> 22) }
+func ptIndex(gpa uint32) int { return int(gpa>>PageShift) & (ptEntries - 1) }
+
+// Translate maps a guest physical address to a host physical address.
+func (e *EPT) Translate(gpa uint32) uint32 {
+	pt := e.pd[pdIndex(gpa)]
+	if pt == nil {
+		return gpa // identity
+	}
+	idx := ptIndex(gpa)
+	if !pt.present[idx] {
+		return gpa
+	}
+	return pt.entries[idx] | (gpa & (PageSize - 1))
+}
+
+// TranslatePage maps the page containing gpa and reports whether the
+// mapping was redirected away from identity.
+func (e *EPT) TranslatePage(gpa uint32) (hpaPage uint32, redirected bool) {
+	page := PageAlignDown(gpa)
+	hpa := e.Translate(page)
+	return hpa, hpa != page
+}
+
+// SetPD installs pt as the PD entry covering gpa (a 4 MB region). This is
+// the fast path used to swap the base kernel's view. Passing nil restores
+// the identity mapping for the region.
+func (e *EPT) SetPD(gpa uint32, pt *PT) {
+	e.pd[pdIndex(gpa)] = pt
+	e.pdSwaps++
+}
+
+// PD returns the PD entry covering gpa (nil = identity).
+func (e *EPT) PD(gpa uint32) *PT { return e.pd[pdIndex(gpa)] }
+
+// SetPTE remaps the single page containing gpa to hpaPage, materializing an
+// identity PT for the region if needed. This is the slow path used for
+// module code pages scattered in the kernel heap, which share PD entries
+// with kernel data.
+func (e *EPT) SetPTE(gpa uint32, hpaPage uint32) {
+	pi := pdIndex(gpa)
+	if e.pd[pi] == nil {
+		e.pd[pi] = NewIdentityPT(uint32(pi) << 22)
+	}
+	e.pd[pi].Set(ptIndex(gpa), hpaPage)
+	e.pteSwaps++
+}
+
+// ClearPTE restores the identity mapping for the page containing gpa.
+func (e *EPT) ClearPTE(gpa uint32) {
+	pi := pdIndex(gpa)
+	if e.pd[pi] == nil {
+		return
+	}
+	e.pd[pi].Set(ptIndex(gpa), PageAlignDown(gpa))
+	e.pteSwaps++
+}
+
+// Counters returns the number of PD swaps and PTE swaps since the last
+// reset.
+func (e *EPT) Counters() (pdSwaps, pteSwaps uint64) { return e.pdSwaps, e.pteSwaps }
+
+// ResetCounters zeroes the swap counters.
+func (e *EPT) ResetCounters() { e.pdSwaps, e.pteSwaps = 0, 0 }

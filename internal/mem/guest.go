@@ -1,0 +1,128 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Region is one contiguous GVA→GPA mapping in a guest address space.
+type Region struct {
+	GVA  uint32
+	GPA  uint32
+	Size uint32
+	Name string
+}
+
+// AddressSpace translates guest virtual to guest physical addresses for one
+// process. Kernel regions are shared by all address spaces; user regions are
+// per process, mirroring a per-process page table with a shared kernel half.
+type AddressSpace struct {
+	regions []Region // sorted by GVA
+}
+
+// NewAddressSpace creates an address space containing the shared kernel
+// mappings: the kernel direct map and the module area.
+func NewAddressSpace() *AddressSpace {
+	as := &AddressSpace{}
+	as.Map(Region{GVA: KernelBase, GPA: 0, Size: ModuleGPA, Name: "lowmem"})
+	as.Map(Region{GVA: ModuleGVA, GPA: ModuleGPA, Size: ModuleAreaSize, Name: "modules"})
+	return as
+}
+
+// Map installs a mapping. Overlapping GVA ranges are a programming error
+// and panic.
+func (as *AddressSpace) Map(r Region) {
+	i := sort.Search(len(as.regions), func(i int) bool { return as.regions[i].GVA >= r.GVA })
+	if i > 0 {
+		prev := as.regions[i-1]
+		if prev.GVA+prev.Size > r.GVA {
+			panic(fmt.Sprintf("mem: mapping %s@%#x overlaps %s@%#x", r.Name, r.GVA, prev.Name, prev.GVA))
+		}
+	}
+	if i < len(as.regions) && r.GVA+r.Size > as.regions[i].GVA {
+		panic(fmt.Sprintf("mem: mapping %s@%#x overlaps %s@%#x", r.Name, r.GVA, as.regions[i].Name, as.regions[i].GVA))
+	}
+	as.regions = append(as.regions, Region{})
+	copy(as.regions[i+1:], as.regions[i:])
+	as.regions[i] = r
+}
+
+// Translate maps gva to a guest physical address.
+func (as *AddressSpace) Translate(gva uint32) (uint32, error) {
+	i := sort.Search(len(as.regions), func(i int) bool { return as.regions[i].GVA > gva })
+	if i == 0 {
+		return 0, fmt.Errorf("mem: guest page fault at %#x (unmapped)", gva)
+	}
+	r := as.regions[i-1]
+	if gva-r.GVA >= r.Size {
+		return 0, fmt.Errorf("mem: guest page fault at %#x (unmapped)", gva)
+	}
+	return r.GPA + (gva - r.GVA), nil
+}
+
+// Accessor bundles an address space, an EPT and host memory into guest
+// virtual memory access that performs both translations page by page, so
+// accesses spanning a view boundary behave like hardware.
+type Accessor struct {
+	AS   *AddressSpace
+	EPT  *EPT
+	Host *Host
+}
+
+func (a Accessor) each(gva uint32, n int, f func(hpa uint32, off, ln int) error) error {
+	off := 0
+	for n > 0 {
+		gpa, err := a.AS.Translate(gva)
+		if err != nil {
+			return err
+		}
+		hpa := a.EPT.Translate(gpa)
+		ln := int(PageSize - (gva & (PageSize - 1)))
+		if ln > n {
+			ln = n
+		}
+		if err := f(hpa, off, ln); err != nil {
+			return err
+		}
+		gva += uint32(ln)
+		off += ln
+		n -= ln
+	}
+	return nil
+}
+
+// Read fills buf from guest virtual memory at gva.
+func (a Accessor) Read(gva uint32, buf []byte) error {
+	return a.each(gva, len(buf), func(hpa uint32, off, ln int) error {
+		return a.Host.Read(hpa, buf[off:off+ln])
+	})
+}
+
+// Write stores buf to guest virtual memory at gva.
+func (a Accessor) Write(gva uint32, buf []byte) error {
+	return a.each(gva, len(buf), func(hpa uint32, off, ln int) error {
+		return a.Host.Write(hpa, buf[off:off+ln])
+	})
+}
+
+// ReadU32 reads a little-endian 32-bit word at gva.
+func (a Accessor) ReadU32(gva uint32) (uint32, error) {
+	var b [4]byte
+	if err := a.Read(gva, b[:]); err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// WriteU32 writes a little-endian 32-bit word at gva.
+func (a Accessor) WriteU32(gva uint32, v uint32) error {
+	b := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	return a.Write(gva, b[:])
+}
+
+// ReadPhys fills buf from guest *physical* memory, bypassing the EPT. This
+// is how FACE-CHANGE fetches pristine kernel bytes ("the original kernel
+// code pages") during code recovery regardless of the active view.
+func (a Accessor) ReadPhys(gpa uint32, buf []byte) error {
+	return a.Host.Read(gpa, buf)
+}

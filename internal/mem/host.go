@@ -1,0 +1,95 @@
+package mem
+
+import "fmt"
+
+// Host is the host physical memory of the simulated machine. The guest's
+// RAM occupies HPA [0, GuestRAMSize) so that the identity EPT mapping is
+// trivially correct; pages allocated for kernel-view shadow copies live
+// above it.
+type Host struct {
+	mem      []byte
+	nextPage uint32 // next free HPA for AllocPage
+}
+
+// NewHost creates host memory backing a guest with GuestRAMSize of RAM and
+// headroom for shadow pages.
+func NewHost() *Host {
+	return &Host{
+		mem:      make([]byte, GuestRAMSize),
+		nextPage: GuestRAMSize,
+	}
+}
+
+// AllocPage allocates one zeroed host page outside guest RAM and returns
+// its HPA.
+func (h *Host) AllocPage() uint32 {
+	hpa := h.nextPage
+	h.nextPage += PageSize
+	if int(h.nextPage) > len(h.mem) {
+		grown := make([]byte, len(h.mem)*2+int(PageSize))
+		copy(grown, h.mem)
+		h.mem = grown
+	}
+	return hpa
+}
+
+// FreePage releases a previously allocated page. The simple bump allocator
+// only zeroes it; host memory is bounded by the run, which is fine for a
+// simulator.
+func (h *Host) FreePage(hpa uint32) {
+	for i := uint32(0); i < PageSize; i++ {
+		h.mem[hpa+i] = 0
+	}
+}
+
+// Size returns the current host memory size in bytes.
+func (h *Host) Size() int { return len(h.mem) }
+
+func (h *Host) check(hpa uint32, n int) error {
+	if int(hpa)+n > len(h.mem) {
+		return fmt.Errorf("mem: host access [%#x,%#x) beyond %#x", hpa, int(hpa)+n, len(h.mem))
+	}
+	return nil
+}
+
+// Read copies host memory at hpa into buf.
+func (h *Host) Read(hpa uint32, buf []byte) error {
+	if err := h.check(hpa, len(buf)); err != nil {
+		return err
+	}
+	copy(buf, h.mem[hpa:])
+	return nil
+}
+
+// Write copies buf into host memory at hpa.
+func (h *Host) Write(hpa uint32, buf []byte) error {
+	if err := h.check(hpa, len(buf)); err != nil {
+		return err
+	}
+	copy(h.mem[hpa:], buf)
+	return nil
+}
+
+// Slice returns a live view of host memory [hpa, hpa+n). The caller must
+// not hold it across AllocPage calls (the backing array may move).
+func (h *Host) Slice(hpa uint32, n int) ([]byte, error) {
+	if err := h.check(hpa, n); err != nil {
+		return nil, err
+	}
+	return h.mem[hpa : int(hpa)+n], nil
+}
+
+// ReadU32 reads a little-endian 32-bit word at hpa.
+func (h *Host) ReadU32(hpa uint32) (uint32, error) {
+	var b [4]byte
+	if err := h.Read(hpa, b[:]); err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// WriteU32 writes a little-endian 32-bit word at hpa.
+func (h *Host) WriteU32(hpa uint32, v uint32) error {
+	b := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	return h.Write(hpa, b[:])
+}

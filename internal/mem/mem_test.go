@@ -1,0 +1,406 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageAlign(t *testing.T) {
+	tests := []struct {
+		addr, down, up uint32
+	}{
+		{0, 0, 0},
+		{1, 0, PageSize},
+		{PageSize - 1, 0, PageSize},
+		{PageSize, PageSize, PageSize},
+		{PageSize + 1, PageSize, 2 * PageSize},
+	}
+	for _, tt := range tests {
+		if got := PageAlignDown(tt.addr); got != tt.down {
+			t.Errorf("PageAlignDown(%#x) = %#x, want %#x", tt.addr, got, tt.down)
+		}
+		if got := PageAlignUp(tt.addr); got != tt.up {
+			t.Errorf("PageAlignUp(%#x) = %#x, want %#x", tt.addr, got, tt.up)
+		}
+	}
+}
+
+func TestKernelGVAClassification(t *testing.T) {
+	if IsKernelGVA(UserCodeBase) {
+		t.Error("user code base must not be kernel space")
+	}
+	if !IsKernelGVA(KernelTextGVA) {
+		t.Error("kernel text must be kernel space")
+	}
+	if !IsKernelGVA(ModuleGVA) {
+		t.Error("module area must be kernel space")
+	}
+	if !IsModuleGVA(ModuleGVA + 100) {
+		t.Error("module area misclassified")
+	}
+	if IsModuleGVA(KernelTextGVA) {
+		t.Error("kernel text is not the module area")
+	}
+}
+
+func TestHostAllocPagesDisjoint(t *testing.T) {
+	h := NewHost()
+	seen := map[uint32]bool{}
+	for i := 0; i < 100; i++ {
+		hpa := h.AllocPage()
+		if hpa < GuestRAMSize {
+			t.Fatalf("allocated page %#x inside guest RAM", hpa)
+		}
+		if hpa%PageSize != 0 {
+			t.Fatalf("allocated page %#x not page aligned", hpa)
+		}
+		if seen[hpa] {
+			t.Fatalf("page %#x allocated twice", hpa)
+		}
+		seen[hpa] = true
+	}
+}
+
+func TestHostReadWriteRoundTrip(t *testing.T) {
+	h := NewHost()
+	data := []byte("face-change")
+	if err := h.Write(0x1234, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := h.Read(0x1234, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip got %q", got)
+	}
+}
+
+func TestHostU32RoundTrip(t *testing.T) {
+	h := NewHost()
+	if err := h.WriteU32(0x2000, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err := h.ReadU32(0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEF {
+		t.Fatalf("ReadU32 = %#x", v)
+	}
+}
+
+func TestHostOutOfRange(t *testing.T) {
+	h := NewHost()
+	if err := h.Read(uint32(h.Size()), make([]byte, 1)); err == nil {
+		t.Error("read past end should fail")
+	}
+	if err := h.Write(uint32(h.Size()-1), make([]byte, 2)); err == nil {
+		t.Error("write past end should fail")
+	}
+}
+
+func TestHostGrowthPreservesContents(t *testing.T) {
+	h := NewHost()
+	if err := h.Write(100, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	initial := h.Size()
+	for h.Size() == initial {
+		h.AllocPage()
+	}
+	got := make([]byte, 3)
+	if err := h.Read(100, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("contents lost across growth: %v", got)
+	}
+}
+
+func TestEPTIdentityDefault(t *testing.T) {
+	e := NewEPT()
+	for _, gpa := range []uint32{0, 0x1234, KernelTextGPA + 17, GuestRAMSize - 1} {
+		if got := e.Translate(gpa); got != gpa {
+			t.Errorf("identity Translate(%#x) = %#x", gpa, got)
+		}
+	}
+}
+
+func TestEPTSetPTERedirectsSinglePage(t *testing.T) {
+	e := NewEPT()
+	gpa := KernelTextGPA + 3*PageSize
+	e.SetPTE(gpa, GuestRAMSize) // some shadow page
+	if got := e.Translate(gpa + 5); got != GuestRAMSize+5 {
+		t.Errorf("redirected Translate = %#x, want %#x", got, GuestRAMSize+5)
+	}
+	// Neighbouring pages in the same 4MB region stay identity.
+	if got := e.Translate(gpa + PageSize); got != gpa+PageSize {
+		t.Errorf("neighbour page remapped: %#x", got)
+	}
+	if got := e.Translate(gpa - PageSize); got != gpa-PageSize {
+		t.Errorf("neighbour page remapped: %#x", got)
+	}
+}
+
+func TestEPTClearPTERestoresIdentity(t *testing.T) {
+	e := NewEPT()
+	gpa := ModuleGPA + 7*PageSize
+	e.SetPTE(gpa, GuestRAMSize+PageSize)
+	e.ClearPTE(gpa)
+	if got := e.Translate(gpa + 9); got != gpa+9 {
+		t.Errorf("ClearPTE did not restore identity: %#x", got)
+	}
+}
+
+func TestEPTPDSwap(t *testing.T) {
+	e := NewEPT()
+	pt := NewIdentityPT(PageAlignDown(KernelTextGPA) &^ (PDSpan - 1))
+	pt.Set(ptIndex(KernelTextGPA), GuestRAMSize+8*PageSize)
+	e.SetPD(KernelTextGPA, pt)
+	if got := e.Translate(KernelTextGPA); got != GuestRAMSize+8*PageSize {
+		t.Errorf("PD-swapped Translate = %#x", got)
+	}
+	e.SetPD(KernelTextGPA, nil)
+	if got := e.Translate(KernelTextGPA); got != KernelTextGPA {
+		t.Errorf("nil PD should mean identity, got %#x", got)
+	}
+	pd, pte := e.Counters()
+	if pd != 2 || pte != 0 {
+		t.Errorf("counters = (%d,%d), want (2,0)", pd, pte)
+	}
+}
+
+func TestEPTCounters(t *testing.T) {
+	e := NewEPT()
+	e.SetPTE(0x1000, GuestRAMSize)
+	e.SetPTE(0x2000, GuestRAMSize)
+	e.ClearPTE(0x1000)
+	pd, pte := e.Counters()
+	if pd != 0 || pte != 3 {
+		t.Errorf("counters = (%d,%d), want (0,3)", pd, pte)
+	}
+	e.ResetCounters()
+	pd, pte = e.Counters()
+	if pd != 0 || pte != 0 {
+		t.Errorf("after reset counters = (%d,%d)", pd, pte)
+	}
+}
+
+func TestAddressSpaceKernelSharedMappings(t *testing.T) {
+	as := NewAddressSpace()
+	gpa, err := as.Translate(KernelTextGVA + 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpa != KernelTextGPA+42 {
+		t.Errorf("kernel text GPA = %#x", gpa)
+	}
+	gpa, err = as.Translate(ModuleGVA + 0x555)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpa != ModuleGPA+0x555 {
+		t.Errorf("module GPA = %#x", gpa)
+	}
+}
+
+func TestAddressSpaceUserMapping(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(Region{GVA: UserCodeBase, GPA: UserGPA, Size: PageSize, Name: "code"})
+	gpa, err := as.Translate(UserCodeBase + 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpa != UserGPA+10 {
+		t.Errorf("user GPA = %#x", gpa)
+	}
+	if _, err := as.Translate(UserCodeBase - 1); err == nil {
+		t.Error("unmapped address should fault")
+	}
+	if _, err := as.Translate(UserCodeBase + PageSize); err == nil {
+		t.Error("address past region should fault")
+	}
+}
+
+func TestAddressSpaceOverlapPanics(t *testing.T) {
+	as := NewAddressSpace()
+	as.Map(Region{GVA: 0x1000, GPA: 0, Size: 0x2000, Name: "a"})
+	for _, r := range []Region{
+		{GVA: 0x2000, GPA: 0, Size: 0x10, Name: "inside"},
+		{GVA: 0x0800, GPA: 0, Size: 0x1000, Name: "tail-overlap"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("overlap %s should panic", r.Name)
+				}
+			}()
+			as.Map(r)
+		}()
+	}
+}
+
+func TestAccessorCrossPageReadWrite(t *testing.T) {
+	h := NewHost()
+	as := NewAddressSpace()
+	e := NewEPT()
+	acc := Accessor{AS: as, EPT: e, Host: h}
+
+	// Redirect the second page of kernel text to a shadow page so that a
+	// write spanning the boundary lands in two different host pages.
+	shadow := h.AllocPage()
+	e.SetPTE(KernelTextGPA+PageSize, shadow)
+
+	gva := KernelTextGVA + PageSize - 2
+	data := []byte{0xAA, 0xBB, 0xCC, 0xDD}
+	if err := acc.Write(gva, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if err := acc.Read(gva, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("cross-page round trip = % x", got)
+	}
+	// First two bytes are in identity-mapped RAM, last two in the shadow.
+	b2 := make([]byte, 2)
+	if err := h.Read(KernelTextGPA+PageSize-2, b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b2, data[:2]) {
+		t.Errorf("identity half = % x", b2)
+	}
+	if err := h.Read(shadow, b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b2, data[2:]) {
+		t.Errorf("shadow half = % x", b2)
+	}
+}
+
+func TestAccessorReadPhysBypassesEPT(t *testing.T) {
+	h := NewHost()
+	as := NewAddressSpace()
+	e := NewEPT()
+	acc := Accessor{AS: as, EPT: e, Host: h}
+
+	if err := h.Write(KernelTextGPA, []byte{0x11}); err != nil {
+		t.Fatal(err)
+	}
+	shadow := h.AllocPage()
+	if err := h.Write(shadow, []byte{0x22}); err != nil {
+		t.Fatal(err)
+	}
+	e.SetPTE(KernelTextGPA, shadow)
+
+	b := make([]byte, 1)
+	if err := acc.Read(KernelTextGVA, b); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0x22 {
+		t.Errorf("virtual read through EPT = %#x, want shadow byte 0x22", b[0])
+	}
+	if err := acc.ReadPhys(KernelTextGPA, b); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0x11 {
+		t.Errorf("ReadPhys = %#x, want pristine byte 0x11", b[0])
+	}
+}
+
+func TestAccessorU32RoundTrip(t *testing.T) {
+	h := NewHost()
+	acc := Accessor{AS: NewAddressSpace(), EPT: NewEPT(), Host: h}
+	if err := acc.WriteU32(KernelDataGVA+8, 0xCAFEBABE); err != nil {
+		t.Fatal(err)
+	}
+	v, err := acc.ReadU32(KernelDataGVA + 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xCAFEBABE {
+		t.Fatalf("u32 round trip = %#x", v)
+	}
+}
+
+func TestAccessorFaultOnUnmapped(t *testing.T) {
+	h := NewHost()
+	acc := Accessor{AS: NewAddressSpace(), EPT: NewEPT(), Host: h}
+	if err := acc.Read(0x1000, make([]byte, 4)); err == nil {
+		t.Error("read of unmapped user address should fault")
+	}
+}
+
+// Property: for any in-RAM GPA, SetPTE followed by ClearPTE restores
+// identity translation for every offset within the page.
+func TestEPTSetClearProperty(t *testing.T) {
+	h := NewHost()
+	e := NewEPT()
+	shadow := h.AllocPage()
+	f := func(gpaRaw uint32, off uint16) bool {
+		gpa := (gpaRaw % (GuestRAMSize - PageSize)) &^ (PageSize - 1)
+		o := uint32(off) % PageSize
+		e.SetPTE(gpa, shadow)
+		if e.Translate(gpa+o) != shadow+o {
+			return false
+		}
+		e.ClearPTE(gpa)
+		return e.Translate(gpa+o) == gpa+o
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: address-space translation is monotone within a region —
+// Translate(gva+k) == Translate(gva)+k for offsets inside the region.
+func TestAddressSpaceLinearityProperty(t *testing.T) {
+	as := NewAddressSpace()
+	f := func(off uint32) bool {
+		o := off % ModuleAreaSize
+		g1, err1 := as.Translate(ModuleGVA)
+		g2, err2 := as.Translate(ModuleGVA + o)
+		return err1 == nil && err2 == nil && g2 == g1+o
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostSliceAliasesMemory(t *testing.T) {
+	h := NewHost()
+	s, err := h.Slice(0x3000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s[0] = 0x7F
+	b := make([]byte, 1)
+	if err := h.Read(0x3000, b); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0x7F {
+		t.Error("Slice does not alias host memory")
+	}
+	if _, err := h.Slice(uint32(h.Size()-1), 2); err == nil {
+		t.Error("out-of-range slice must fail")
+	}
+}
+
+func TestHostFreePageZeroes(t *testing.T) {
+	h := NewHost()
+	hpa := h.AllocPage()
+	if err := h.Write(hpa, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	h.FreePage(hpa)
+	b := make([]byte, 3)
+	if err := h.Read(hpa, b); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 0 || b[1] != 0 || b[2] != 0 {
+		t.Errorf("freed page not zeroed: %v", b)
+	}
+}

@@ -1,0 +1,89 @@
+package profiler
+
+import (
+	"strings"
+	"testing"
+
+	"facechange/internal/kernel"
+)
+
+func TestCoverageIdentifiesExecutedFunctions(t *testing.T) {
+	k, p, task := session(t, "reader", []kernel.Syscall{
+		{Nr: kernel.SysRead, File: kernel.FileExt4},
+		{Nr: kernel.SysWrite, File: kernel.FileTTY},
+	})
+	view, _ := p.ViewFor(task.PID)
+	cov := Coverage(view, k.Syms, k.Modules())
+	byName := map[string]FnCoverage{}
+	for _, c := range cov {
+		byName[c.Name] = c
+	}
+	for _, fn := range []string{"sys_read", "vfs_read", "do_sync_read", "tty_write", "syscall_call"} {
+		c, ok := byName[fn]
+		if !ok {
+			t.Errorf("coverage missing %s", fn)
+			continue
+		}
+		if c.Covered == 0 {
+			t.Errorf("%s covered 0 bytes", fn)
+		}
+	}
+	if _, ok := byName["tcp_sendmsg"]; ok {
+		t.Error("coverage includes never-executed tcp_sendmsg")
+	}
+}
+
+func TestCoveragePartialFunctions(t *testing.T) {
+	// Functions with conditional branches not taken are partially covered
+	// (the padding after a skipped If body never executes... but the
+	// relevant partial case is a skipped If body). do_futex's futex_wait
+	// branch is skipped when Blocks is 0, so do_futex is partially
+	// covered.
+	k, p, task := session(t, "futexer", []kernel.Syscall{
+		{Nr: kernel.SysFutex}, // never blocks → CondBlock body skipped
+	})
+	view, _ := p.ViewFor(task.PID)
+	cov := Coverage(view, k.Syms, k.Modules())
+	for _, c := range cov {
+		if c.Name == "do_futex" {
+			if !c.Partial() {
+				t.Errorf("do_futex should be partially covered: %d/%d", c.Covered, c.Size)
+			}
+			return
+		}
+	}
+	t.Fatal("do_futex not in coverage")
+}
+
+func TestCoverageModuleFunctions(t *testing.T) {
+	k, p, task := session(t, "tcpdump", []kernel.Syscall{
+		{Nr: kernel.SysSocket, Sock: kernel.SockPacket},
+	}, "af_packet")
+	view, _ := p.ViewFor(task.PID)
+	cov := Coverage(view, k.Syms, k.Modules())
+	found := false
+	for _, c := range cov {
+		if c.Name == "packet_create" {
+			found = true
+			if c.Module != "af_packet" {
+				t.Errorf("packet_create module = %q", c.Module)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("module function missing from coverage")
+	}
+}
+
+func TestCoverageReportFormat(t *testing.T) {
+	k, p, task := session(t, "reader", []kernel.Syscall{
+		{Nr: kernel.SysRead, File: kernel.FileExt4},
+	})
+	view, _ := p.ViewFor(task.PID)
+	rep := CoverageReport(view, k.Syms, k.Modules())
+	for _, want := range []string{"view \"reader\"", "sched", "vfs", "ext4r"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
