@@ -13,6 +13,7 @@ package facechange_test
 
 import (
 	"testing"
+	"time"
 
 	"facechange"
 	"facechange/internal/apps"
@@ -211,6 +212,66 @@ func BenchmarkViewLoad(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StopTimer()
+		if err := vm.Runtime.UnloadView(idx); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkProfilePool measures the concurrent profiling pipeline over the
+// application catalog and reports its speedup against a serial (one-worker)
+// run of the same workload. The speedup is machine-dependent: profiling
+// sessions are CPU-bound, so it approaches min(workers, GOMAXPROCS) on a
+// multi-core host and 1.0 on a single-core one.
+func BenchmarkProfilePool(b *testing.B) {
+	list := apps.Catalog()
+	if len(list) > 8 {
+		list = list[:8]
+	}
+	cfg := facechange.ProfileConfig{Syscalls: 300}
+	serialStart := time.Now()
+	if _, err := facechange.NewPool(facechange.PoolConfig{Workers: 1}).ProfileAll(list, cfg); err != nil {
+		b.Fatal(err)
+	}
+	serial := time.Since(serialStart)
+	pool := facechange.NewPool(facechange.PoolConfig{Workers: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.ProfileAll(list, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	parallel := b.Elapsed() / time.Duration(b.N)
+	b.ReportMetric(float64(serial)/float64(parallel), "speedup-vs-serial")
+	b.ReportMetric(float64(len(list)), "apps")
+}
+
+// BenchmarkLoadViewCached measures view materialization with the
+// content-addressed page cache warm (several views already resident) and
+// reports how much of the shadow-page working set the cache deduplicates.
+func BenchmarkLoadViewCached(b *testing.B) {
+	t := table1(b)
+	vm, err := facechange.NewVM(facechange.VMConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"apache", "top", "gzip"} {
+		if _, err := vm.LoadView(t.Views[name]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx, err := vm.LoadView(t.Views["firefox"])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		st := vm.Runtime.CacheStats()
+		b.ReportMetric(st.DedupRatio()*100, "dedup-%")
+		b.ReportMetric(float64(st.BytesSaved)/1024, "saved-KB")
 		if err := vm.Runtime.UnloadView(idx); err != nil {
 			b.Fatal(err)
 		}

@@ -6,16 +6,23 @@
 // Usage:
 //
 //	fcprofile -app top -o top.view.json
+//	fcprofile -app firefox -seeds 1,2,3 -o firefox.view.json
+//	fcprofile -all -workers 4 -d views/
 //	fcprofile -list
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
 
 	"facechange"
 	"facechange/internal/apps"
+	"facechange/internal/kview"
 )
 
 func main() {
@@ -28,9 +35,13 @@ func main() {
 func run() error {
 	var (
 		appName  = flag.String("app", "", "application to profile (see -list)")
+		all      = flag.Bool("all", false, "profile every catalog application")
 		out      = flag.String("o", "", "output view configuration file (default <app>.view.json)")
+		dir      = flag.String("d", ".", "output directory for -all")
 		syscalls = flag.Int("syscalls", 600, "workload length in system calls")
 		seed     = flag.Int64("seed", 1, "workload seed")
+		seeds    = flag.String("seeds", "", "comma-separated seeds; sessions run concurrently and merge into one view")
+		workers  = flag.Int("workers", 0, "concurrent profiling sessions (default GOMAXPROCS)")
 		list     = flag.Bool("list", false, "list profileable applications")
 	)
 	flag.Parse()
@@ -45,14 +56,35 @@ func run() error {
 		}
 		return nil
 	}
+
+	pool := facechange.NewPool(facechange.PoolConfig{Workers: *workers})
+	cfg := facechange.ProfileConfig{Syscalls: *syscalls, Seed: *seed}
+
+	if *all {
+		return profileAll(pool, cfg, *dir)
+	}
+
 	app, ok := apps.ByName(*appName)
 	if !ok {
 		return fmt.Errorf("unknown application %q (try -list)", *appName)
 	}
-	view, err := facechange.Profile(app, facechange.ProfileConfig{
-		Syscalls: *syscalls,
-		Seed:     *seed,
-	})
+	var (
+		view *kview.View
+		err  error
+	)
+	if *seeds != "" {
+		var seedList []int64
+		for _, s := range strings.Split(*seeds, ",") {
+			n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad -seeds value %q: %v", s, err)
+			}
+			seedList = append(seedList, n)
+		}
+		view, err = pool.ProfileMerged(app, cfg, seedList...)
+	} else {
+		view, err = facechange.Profile(app, cfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -60,14 +92,52 @@ func run() error {
 	if path == "" {
 		path = app.Name + ".view.json"
 	}
-	data, err := view.Marshal()
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := writeView(view, path); err != nil {
 		return err
 	}
 	fmt.Printf("profiled %s: %d KB of kernel code in %d ranges → %s\n",
 		app.Name, view.Size()/1024, view.Len(), path)
 	return nil
+}
+
+// profileAll profiles the whole catalog on the worker pool and writes one
+// view file per application. Failed sessions are reported individually;
+// every successful view is still written.
+func profileAll(pool *facechange.Pool, cfg facechange.ProfileConfig, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	catalog := apps.Catalog()
+	views, err := pool.ProfileAll(catalog, cfg)
+	for _, a := range catalog {
+		view, ok := views[a.Name]
+		if !ok {
+			continue
+		}
+		path := filepath.Join(dir, a.Name+".view.json")
+		if werr := writeView(view, path); werr != nil {
+			return werr
+		}
+		fmt.Printf("profiled %s: %d KB of kernel code in %d ranges → %s\n",
+			a.Name, view.Size()/1024, view.Len(), path)
+	}
+	if err != nil {
+		var perrs facechange.ProfileErrors
+		if errors.As(err, &perrs) {
+			for _, pe := range perrs {
+				fmt.Fprintf(os.Stderr, "fcprofile: %s failed: %v\n", pe.App, pe.Err)
+			}
+			return fmt.Errorf("%d of %d applications failed", len(perrs), len(catalog))
+		}
+		return err
+	}
+	return nil
+}
+
+func writeView(view *kview.View, path string) error {
+	data, err := view.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

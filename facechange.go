@@ -105,37 +105,17 @@ func Profile(app apps.App, cfg ProfileConfig) (*kview.View, error) {
 // answer to the path-coverage problem: "it is difficult to ensure that all
 // code paths through an application are executed during profiling"
 // (Section III-A2). More sessions mean fewer benign recoveries at runtime.
+// Sessions run concurrently on a default Pool (one worker per CPU).
 func ProfileMerged(app apps.App, cfg ProfileConfig, seeds ...int64) (*kview.View, error) {
-	if len(seeds) == 0 {
-		seeds = []int64{1}
-	}
-	var views []*kview.View
-	for _, seed := range seeds {
-		c := cfg
-		c.Seed = seed
-		v, err := Profile(app, c)
-		if err != nil {
-			return nil, err
-		}
-		views = append(views, v)
-	}
-	merged := kview.UnionViews(app.Name, views...)
-	merged.App = app.Name
-	return merged, nil
+	return NewPool(PoolConfig{}).ProfileMerged(app, cfg, seeds...)
 }
 
 // ProfileAll profiles every application in independent sessions and
-// returns the views keyed by name.
+// returns the views keyed by name. Sessions run concurrently on a default
+// Pool (one worker per CPU); failures are aggregated per app in a
+// ProfileErrors, and the returned map holds every view that did profile.
 func ProfileAll(list []apps.App, cfg ProfileConfig) (map[string]*kview.View, error) {
-	views := make(map[string]*kview.View, len(list))
-	for _, a := range list {
-		v, err := Profile(a, cfg)
-		if err != nil {
-			return nil, err
-		}
-		views[a.Name] = v
-	}
-	return views, nil
+	return NewPool(PoolConfig{}).ProfileAll(list, cfg)
 }
 
 // VMConfig configures a runtime-phase virtual machine (the paper's KVM

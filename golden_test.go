@@ -1,0 +1,84 @@
+package facechange_test
+
+import (
+	"bytes"
+	"testing"
+
+	"facechange"
+	"facechange/internal/apps"
+	"facechange/internal/kview"
+)
+
+// TestGoldenViewConfigRoundTrip: exporting a profiled view configuration
+// and re-importing it must materialize the *same* view — identical
+// LoadedBytes and identical shadow page sets. With the content-addressed
+// page cache the check is exact: the re-imported view must map every page
+// to the very same host page as the original (100% dedup), because any
+// content difference would intern a new page.
+func TestGoldenViewConfigRoundTrip(t *testing.T) {
+	app, ok := apps.ByName("apache")
+	if !ok {
+		t.Fatal("no apache app")
+	}
+	view, err := facechange.Profile(app, facechange.ProfileConfig{Syscalls: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := view.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported, err := kview.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := imported.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("config file not stable across export → import → export")
+	}
+
+	vm, err := facechange.NewVM(facechange.VMConfig{Modules: app.Modules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1, err := vm.LoadView(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := vm.LoadView(imported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := vm.Runtime.ViewByIndex(i1), vm.Runtime.ViewByIndex(i2)
+
+	if v1.LoadedBytes != v2.LoadedBytes {
+		t.Errorf("LoadedBytes: original %d, re-imported %d", v1.LoadedBytes, v2.LoadedBytes)
+	}
+	compare := func(kind string, a, b map[uint32]uint32) {
+		if len(a) != len(b) {
+			t.Errorf("%s page count: original %d, re-imported %d", kind, len(a), len(b))
+			return
+		}
+		for gpa, hpa := range a {
+			other, ok := b[gpa]
+			if !ok {
+				t.Errorf("%s page %#x missing from re-imported view", kind, gpa)
+			} else if other != hpa {
+				t.Errorf("%s page %#x differs in content: HPA %#x vs %#x", kind, gpa, hpa, other)
+			}
+		}
+	}
+	compare("text", v1.TextPageMap(), v2.TextPageMap())
+	compare("module", v1.ModPageMap(), v2.ModPageMap())
+
+	// Full dedup: loading the re-imported twin added no distinct pages.
+	st := vm.Runtime.CacheStats()
+	pages := uint64(len(v2.TextPageMap()) + len(v2.ModPageMap()))
+	if st.DedupedPages < pages {
+		t.Errorf("DedupedPages = %d, want ≥ %d (the whole re-imported view)", st.DedupedPages, pages)
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"facechange/internal/kernel"
+	"facechange/internal/kview"
+	"facechange/internal/mem"
+)
+
+// loadTwice loads the same single-function view configuration twice and
+// returns both materialized views.
+func loadTwice(t *testing.T, opts Options) (*kernel.Kernel, *Runtime, *LoadedView, *LoadedView) {
+	t.Helper()
+	k, err := kernel.New(kernel.Config{Clock: kernel.ClockKVM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Setup{Machine: k.M, Symbols: k.Syms, TextSize: k.Img.TextSize(), Opts: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := k.Syms.ByName("sys_getpid")
+	if !ok {
+		t.Fatal("missing sys_getpid")
+	}
+	mk := func(app string) *LoadedView {
+		cfg := kview.NewView(app)
+		cfg.Insert(kview.BaseKernel, f.Addr, f.End())
+		idx, err := rt.LoadView(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt.ViewByIndex(idx)
+	}
+	return k, rt, mk("first"), mk("second")
+}
+
+// TestLoadViewSharesIdenticalPages: two views with identical content must
+// map every shadow page to the same host page — one UD2 page and one copy
+// of each loaded page, not a full per-view copy.
+func TestLoadViewSharesIdenticalPages(t *testing.T) {
+	_, rt, v1, v2 := loadTwice(t, DefaultOptions())
+	if len(v1.textPages) == 0 || len(v1.textPages) != len(v2.textPages) {
+		t.Fatalf("page counts differ: %d vs %d", len(v1.textPages), len(v2.textPages))
+	}
+	for gpa, hpa := range v1.textPages {
+		if v2.textPages[gpa] != hpa {
+			t.Fatalf("page %#x not shared: %#x vs %#x", gpa, hpa, v2.textPages[gpa])
+		}
+	}
+	st := rt.CacheStats()
+	// The second view contributed zero new pages.
+	if st.DedupedPages < uint64(len(v2.textPages)) {
+		t.Errorf("DedupedPages = %d, want ≥ %d (the whole second view)", st.DedupedPages, len(v2.textPages))
+	}
+	// And even the first view collapses to very few distinct pages: UD2
+	// filler plus the loaded function's page(s).
+	if st.DistinctPages > 4 {
+		t.Errorf("%d distinct pages for two near-empty views", st.DistinctPages)
+	}
+	if st.DedupRatio() < 0.5 {
+		t.Errorf("dedup ratio %.2f, want > 0.5", st.DedupRatio())
+	}
+}
+
+// TestRecoveryCopyOnWriteIsolatesViews: recovering code into one view must
+// not alter the identical page another view still shares.
+func TestRecoveryCopyOnWriteIsolatesViews(t *testing.T) {
+	k, rt, v1, v2 := loadTwice(t, DefaultOptions())
+	f, _ := k.Syms.ByName("sys_read")
+	gpaPage := mem.PageAlignDown(f.Addr - mem.KernelBase)
+	sharedHPA := v1.textPages[gpaPage]
+	if v2.textPages[gpaPage] != sharedHPA {
+		t.Fatal("precondition: page not shared")
+	}
+
+	// Recover sys_read into view 1 only (what OnInvalidOpcode does).
+	if err := rt.copyPhys(v1, f.Addr, f.Size); err != nil {
+		t.Fatal(err)
+	}
+
+	if v1.textPages[gpaPage] == sharedHPA {
+		t.Error("written page still shared (no copy-on-write)")
+	}
+	if v1.shared[gpaPage] {
+		t.Error("written page still marked shared")
+	}
+	if v2.textPages[gpaPage] != sharedHPA {
+		t.Error("untouched view lost its shared page")
+	}
+	// View 2's page must still be pristine UD2 at sys_read.
+	buf := make([]byte, 8)
+	if err := rt.m.Host.Read(v2.textPages[gpaPage]+(f.Addr-mem.KernelBase-gpaPage), buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:2], []byte{ud2Page[0], ud2Page[1]}) {
+		t.Errorf("shared page mutated under view 2: % x", buf)
+	}
+	// View 1's private page holds the recovered code.
+	if err := rt.m.Host.Read(v1.textPages[gpaPage]+(f.Addr-mem.KernelBase-gpaPage), buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf[:2], []byte{ud2Page[0], ud2Page[1]}) {
+		t.Error("recovered page still UD2 in view 1")
+	}
+	// One privatization per written page (the function may span several).
+	wantPages := (mem.PageAlignUp(f.Addr+f.Size) - mem.PageAlignDown(f.Addr)) / mem.PageSize
+	if st := rt.CacheStats(); st.Privatized != uint64(wantPages) {
+		t.Errorf("Privatized = %d, want %d", st.Privatized, wantPages)
+	}
+}
+
+// TestRecoveryRemapsLiveVCPU: when the written view is active on a vCPU,
+// the copy-on-write page must become visible through that vCPU's EPT at
+// once — in both base-kernel switch modes.
+func TestRecoveryRemapsLiveVCPU(t *testing.T) {
+	for _, mode := range []struct {
+		name       string
+		pdGranular bool
+	}{
+		{"pd-granular", true},
+		{"pte-granular", false},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.PDGranularSwitch = mode.pdGranular
+			k, rt, v1, _ := loadTwice(t, opts)
+			cpu := k.M.CPUs[0]
+			rt.switchTo(cpu, 1) // v1
+
+			f, _ := k.Syms.ByName("sys_read")
+			if err := rt.copyPhys(v1, f.Addr, f.Size); err != nil {
+				t.Fatal(err)
+			}
+			var got [2]byte
+			if err := cpu.Mem().Read(f.Addr, got[:]); err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(got[:], []byte{ud2Page[0], ud2Page[1]}) {
+				t.Error("vCPU still reads UD2 after recovery: live EPT not remapped")
+			}
+			rt.switchTo(cpu, FullView)
+		})
+	}
+}
+
+// TestUnloadViewReleasesSharedPages: unloading one of two identical views
+// keeps the shared pages alive for the survivor; unloading both frees
+// them.
+func TestUnloadViewReleasesSharedPages(t *testing.T) {
+	k, rt, v1, _ := loadTwice(t, DefaultOptions())
+	distinct := rt.CacheStats().DistinctPages
+	if err := rt.UnloadView(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.CacheStats().DistinctPages; got != distinct {
+		t.Errorf("distinct pages %d → %d after unloading one sharer", distinct, got)
+	}
+	// The survivor still reads its loaded code.
+	f, _ := k.Syms.ByName("sys_getpid")
+	v2 := rt.ViewByIndex(2)
+	buf := make([]byte, 2)
+	gpaPage := mem.PageAlignDown(f.Addr - mem.KernelBase)
+	if err := rt.m.Host.Read(v2.textPages[gpaPage]+(f.Addr-mem.KernelBase-gpaPage), buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, []byte{ud2Page[0], ud2Page[1]}) {
+		t.Error("survivor's loaded page was freed with the unloaded view")
+	}
+	if err := rt.UnloadView(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.CacheStats().DistinctPages; got != 0 {
+		t.Errorf("%d cached pages leaked after unloading every view", got)
+	}
+	_ = v1
+}

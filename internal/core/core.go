@@ -91,6 +91,10 @@ type Runtime struct {
 	views  []*LoadedView // index 0 is the full view (nil)
 	byName map[string]int
 
+	// cache interns shadow pages by content so identical pages (UD2
+	// filler, shared loaded code) are stored once across views.
+	cache *mem.PageCache
+
 	cpus           []*cpuViewState
 	resumeTrapRefs int
 
@@ -123,6 +127,7 @@ func New(s Setup) (*Runtime, error) {
 		kernelAS: mem.NewAddressSpace(),
 		views:    []*LoadedView{nil},
 		byName:   make(map[string]int),
+		cache:    mem.NewPageCache(s.Machine.Host),
 	}
 	r.ctxSwitchAddr = s.Symbols.MustAddr("context_switch")
 	r.resumeAddr = s.Symbols.MustAddr("resume_userspace")
@@ -167,6 +172,10 @@ func (r *Runtime) Disable() {
 
 // Enabled reports whether interception is active.
 func (r *Runtime) Enabled() bool { return r.enabled }
+
+// CacheStats reports the shadow-page cache's dedup state: distinct pages
+// stored, page mappings served without a copy, and bytes saved.
+func (r *Runtime) CacheStats() mem.CacheStats { return r.cache.Stats() }
 
 func (r *Runtime) armResume() {
 	if r.resumeTrapRefs == 0 {

@@ -11,6 +11,11 @@ import (
 // LoadedView is a kernel view materialized in host memory: shadow copies
 // of the guest's kernel code pages, UD2-filled except for the code loaded
 // from the view configuration (Section III-B1).
+//
+// Shadow pages are interned in the runtime's content-addressed page cache:
+// views share one physical copy of each identical page (the UD2 filler and
+// any identically loaded page). A shared page is immutable; kernel code
+// recovery takes a private copy first (copy-on-write, see Runtime.viewWrite).
 type LoadedView struct {
 	Name string
 	Cfg  *kview.View
@@ -23,6 +28,9 @@ type LoadedView struct {
 	// modPages maps module-area GPA pages to shadow HPAs (the scattered
 	// pages switched PTE-by-PTE).
 	modPages map[uint32]uint32
+	// shared marks GPA pages whose HPA is a cache-shared page that must
+	// not be written in place.
+	shared map[uint32]bool
 
 	// LoadedBytes counts code bytes copied into the view at build time.
 	LoadedBytes uint64
@@ -46,6 +54,26 @@ func (v *LoadedView) noteRecovered(space string, start, end uint32) {
 // none).
 func (v *LoadedView) Recovered() *kview.View { return v.recovered }
 
+// TextPageMap returns a copy of the base-kernel shadow map (GPA page →
+// HPA page).
+func (v *LoadedView) TextPageMap() map[uint32]uint32 {
+	out := make(map[uint32]uint32, len(v.textPages))
+	for gpa, hpa := range v.textPages {
+		out[gpa] = hpa
+	}
+	return out
+}
+
+// ModPageMap returns a copy of the module-area shadow map (GPA page →
+// HPA page).
+func (v *LoadedView) ModPageMap() map[uint32]uint32 {
+	out := make(map[uint32]uint32, len(v.modPages))
+	for gpa, hpa := range v.modPages {
+		out[gpa] = hpa
+	}
+	return out
+}
+
 var ud2Page = buildUD2Page()
 
 func buildUD2Page() []byte {
@@ -68,9 +96,62 @@ func (r *Runtime) textPDBases() []uint32 {
 	return out
 }
 
+// viewStage assembles a view's shadow page contents in host-side buffers
+// before any page is allocated, so each finished page can be interned in
+// the content-addressed cache. A page present in buf with a nil slice is
+// pure UD2 filler (never written), which the canonical ud2Page represents
+// without a per-view buffer.
+type viewStage struct {
+	order []uint32          // page GPAs in insertion order (deterministic)
+	buf   map[uint32][]byte // GPA page → staged content; nil = pure UD2
+	mod   map[uint32]bool   // GPA page is in the module area
+}
+
+func newViewStage() *viewStage {
+	return &viewStage{buf: make(map[uint32][]byte), mod: make(map[uint32]bool)}
+}
+
+func (s *viewStage) addPage(gpaPage uint32, isMod bool) {
+	if _, ok := s.buf[gpaPage]; ok {
+		return
+	}
+	s.buf[gpaPage] = nil
+	s.mod[gpaPage] = isMod
+	s.order = append(s.order, gpaPage)
+}
+
+// write overlays data at gva onto the staged pages.
+func (s *viewStage) write(name string, gva uint32, data []byte) error {
+	for len(data) > 0 {
+		gpaPage := mem.PageAlignDown(gpaFor(gva))
+		buf, ok := s.buf[gpaPage]
+		if !ok {
+			return fmt.Errorf("core: view %q has no shadow page for %#x", name, gva)
+		}
+		if buf == nil {
+			buf = make([]byte, mem.PageSize)
+			copy(buf, ud2Page)
+			s.buf[gpaPage] = buf
+		}
+		off := gva & (mem.PageSize - 1)
+		n := int(mem.PageSize - off)
+		if n > len(data) {
+			n = len(data)
+		}
+		copy(buf[off:], data[:n])
+		gva += uint32(n)
+		data = data[n:]
+	}
+	return nil
+}
+
 // LoadView materializes cfg as a new kernel view and registers it under
 // cfg.App, returning its index. The guest keeps running; this is the
 // dynamic "hot-plug" of Section III-B4.
+//
+// Page contents are staged first and then interned in the runtime's page
+// cache, so identical pages — the UD2 filler and identically loaded code
+// pages — are shared across views instead of copied per view.
 func (r *Runtime) LoadView(cfg *kview.View) (int, error) {
 	v := &LoadedView{
 		Name:      cfg.App,
@@ -78,28 +159,16 @@ func (r *Runtime) LoadView(cfg *kview.View) (int, error) {
 		textPages: make(map[uint32]uint32),
 		pts:       make(map[uint32]*mem.PT),
 		modPages:  make(map[uint32]uint32),
+		shared:    make(map[uint32]bool),
 	}
+	stage := newViewStage()
 	// 1. Shadow the whole base kernel text with UD2.
-	host := r.m.Host
 	for gpa := mem.KernelTextGPA; gpa < mem.KernelTextGPA+r.textSize; gpa += mem.PageSize {
-		hpa := host.AllocPage()
-		if err := host.Write(hpa, ud2Page); err != nil {
-			return 0, fmt.Errorf("core: fill shadow: %w", err)
-		}
-		v.textPages[gpa] = hpa
-	}
-	for _, pdBase := range r.textPDBases() {
-		pt := mem.NewIdentityPT(pdBase)
-		for gpa, hpa := range v.textPages {
-			if gpa&^(mem.PDSpan-1) == pdBase {
-				pt.Set(int(gpa>>mem.PageShift)&1023, hpa)
-			}
-		}
-		v.pts[pdBase] = pt
+		stage.addPage(gpa, false)
 	}
 	// 2. Load configured base-kernel code, expanded to whole functions.
 	for _, rg := range cfg.Ranges(kview.BaseKernel) {
-		if err := r.loadRange(v, rg.Start, rg.End, mem.KernelTextGVA, mem.KernelTextGVA+r.textSize); err != nil {
+		if err := r.stageRange(stage, v, rg.Start, rg.End, mem.KernelTextGVA, mem.KernelTextGVA+r.textSize); err != nil {
 			return 0, err
 		}
 	}
@@ -114,22 +183,18 @@ func (r *Runtime) LoadView(cfg *kview.View) (int, error) {
 		start := mem.PageAlignDown(mod.Base)
 		end := mem.PageAlignUp(mod.Base + mod.Size)
 		for gva := start; gva < end; gva += mem.PageSize {
-			hpa := host.AllocPage()
-			if err := host.Write(hpa, ud2Page); err != nil {
-				return 0, fmt.Errorf("core: fill module shadow: %w", err)
-			}
-			v.modPages[moduleGPA(gva)] = hpa
+			stage.addPage(moduleGPA(gva), true)
 		}
 		// A module's shadow covers whole pages; preserve the byte ranges
 		// of the page content outside the module (other heap data) by
 		// copying them from guest RAM.
 		if off := mod.Base - start; off > 0 {
-			if err := r.copyPhys(v, start, off); err != nil {
+			if err := r.stageCopy(stage, v, start, off); err != nil {
 				return 0, err
 			}
 		}
 		if tail := end - (mod.Base + mod.Size); tail > 0 {
-			if err := r.copyPhys(v, mod.Base+mod.Size, tail); err != nil {
+			if err := r.stageCopy(stage, v, mod.Base+mod.Size, tail); err != nil {
 				return 0, err
 			}
 		}
@@ -138,10 +203,36 @@ func (r *Runtime) LoadView(cfg *kview.View) (int, error) {
 			if e > mod.Base+mod.Size {
 				e = mod.Base + mod.Size
 			}
-			if err := r.loadRange(v, s, e, mod.Base, mod.Base+mod.Size); err != nil {
+			if err := r.stageRange(stage, v, s, e, mod.Base, mod.Base+mod.Size); err != nil {
 				return 0, err
 			}
 		}
+	}
+	// 4. Intern every staged page: identical contents share one host page.
+	for _, gpa := range stage.order {
+		content := stage.buf[gpa]
+		if content == nil {
+			content = ud2Page
+		}
+		hpa, err := r.cache.Intern(content)
+		if err != nil {
+			return 0, fmt.Errorf("core: intern shadow page %#x: %w", gpa, err)
+		}
+		v.shared[gpa] = true
+		if stage.mod[gpa] {
+			v.modPages[gpa] = hpa
+		} else {
+			v.textPages[gpa] = hpa
+		}
+	}
+	for _, pdBase := range r.textPDBases() {
+		pt := mem.NewIdentityPT(pdBase)
+		for gpa, hpa := range v.textPages {
+			if gpa&^(mem.PDSpan-1) == pdBase {
+				pt.Set(int(gpa>>mem.PageShift)&1023, hpa)
+			}
+		}
+		v.pts[pdBase] = pt
 	}
 	idx := len(r.views)
 	r.views = append(r.views, v)
@@ -164,9 +255,10 @@ func gpaFor(gva uint32) uint32 {
 	return kernelGPA(gva)
 }
 
-// loadRange copies the pristine guest code covering [start,end) into the
-// view, expanded to whole functions when WholeFunctionLoad is on.
-func (r *Runtime) loadRange(v *LoadedView, start, end, regionStart, regionEnd uint32) error {
+// stageRange stages the pristine guest code covering [start,end) into the
+// view under construction, expanded to whole functions when
+// WholeFunctionLoad is on.
+func (r *Runtime) stageRange(s *viewStage, v *LoadedView, start, end, regionStart, regionEnd uint32) error {
 	if r.opts.WholeFunctionLoad {
 		var err error
 		start, end, err = r.funcSpan(start, end, regionStart, regionEnd)
@@ -174,46 +266,106 @@ func (r *Runtime) loadRange(v *LoadedView, start, end, regionStart, regionEnd ui
 			return err
 		}
 	}
-	return r.copyPhys(v, start, end-start)
+	return r.stageCopy(s, v, start, end-start)
 }
 
-// copyPhys copies n pristine bytes at guest virtual address gva (read from
-// guest *physical* memory, immune to active views) into v's shadow pages.
-func (r *Runtime) copyPhys(v *LoadedView, gva uint32, n uint32) error {
+// stageCopy stages n pristine bytes at guest virtual address gva (read from
+// guest *physical* memory, immune to active views) into the view under
+// construction.
+func (r *Runtime) stageCopy(s *viewStage, v *LoadedView, gva uint32, n uint32) error {
 	buf := make([]byte, n)
 	if err := r.m.Host.Read(gpaFor(gva), buf); err != nil {
 		return fmt.Errorf("core: read pristine code at %#x: %w", gva, err)
 	}
-	if err := v.write(r.m.Host, gva, buf); err != nil {
+	if err := s.write(v.Name, gva, buf); err != nil {
 		return err
 	}
 	v.LoadedBytes += uint64(n)
 	return nil
 }
 
-// write stores bytes into the view's shadow pages, page by page.
-func (v *LoadedView) write(host *mem.Host, gva uint32, data []byte) error {
+// copyPhys copies n pristine bytes at guest virtual address gva into v's
+// (already materialized) shadow pages — the runtime recovery path.
+func (r *Runtime) copyPhys(v *LoadedView, gva uint32, n uint32) error {
+	buf := make([]byte, n)
+	if err := r.m.Host.Read(gpaFor(gva), buf); err != nil {
+		return fmt.Errorf("core: read pristine code at %#x: %w", gva, err)
+	}
+	if err := r.viewWrite(v, gva, buf); err != nil {
+		return err
+	}
+	v.LoadedBytes += uint64(n)
+	return nil
+}
+
+// pageFor looks up the shadow page backing gpaPage.
+func (v *LoadedView) pageFor(gpaPage uint32) (hpa uint32, isText, ok bool) {
+	if hpa, ok := v.textPages[gpaPage]; ok {
+		return hpa, true, true
+	}
+	hpa, ok = v.modPages[gpaPage]
+	return hpa, false, ok
+}
+
+// viewWrite stores bytes into the view's shadow pages, page by page. A
+// cache-shared page is first replaced by a private copy (copy-on-write):
+// other views keep the pristine shared page, and any vCPU running this
+// view is remapped to the private copy before the bytes land.
+func (r *Runtime) viewWrite(v *LoadedView, gva uint32, data []byte) error {
 	for len(data) > 0 {
 		gpaPage := mem.PageAlignDown(gpaFor(gva))
-		hpa, ok := v.textPages[gpaPage]
-		if !ok {
-			hpa, ok = v.modPages[gpaPage]
-		}
+		hpa, isText, ok := v.pageFor(gpaPage)
 		if !ok {
 			return fmt.Errorf("core: view %q has no shadow page for %#x", v.Name, gva)
+		}
+		if v.shared[gpaPage] {
+			private, err := r.cache.Privatize(hpa)
+			if err != nil {
+				return fmt.Errorf("core: cow %#x: %w", gva, err)
+			}
+			delete(v.shared, gpaPage)
+			if isText {
+				v.textPages[gpaPage] = private
+				// The prebuilt PT is (possibly) live in vCPU EPTs; updating
+				// it retargets the PD-granular mapping in place.
+				pdBase := gpaPage &^ (mem.PDSpan - 1)
+				if pt := v.pts[pdBase]; pt != nil {
+					pt.Set(int(gpaPage>>mem.PageShift)&1023, private)
+				}
+			} else {
+				v.modPages[gpaPage] = private
+			}
+			r.remapLive(v, gpaPage, private, isText)
+			hpa = private
 		}
 		off := gva & (mem.PageSize - 1)
 		n := int(mem.PageSize - off)
 		if n > len(data) {
 			n = len(data)
 		}
-		if err := host.Write(hpa+off, data[:n]); err != nil {
+		if err := r.m.Host.Write(hpa+off, data[:n]); err != nil {
 			return err
 		}
 		gva += uint32(n)
 		data = data[n:]
 	}
 	return nil
+}
+
+// remapLive points every vCPU currently running the view at a page's new
+// HPA. PD-granular text mappings share the view's PT object and are
+// already up to date; PTE-granular text and module pages were copied into
+// the vCPU's EPT at switch time and must be rewritten.
+func (r *Runtime) remapLive(v *LoadedView, gpaPage, hpa uint32, isText bool) {
+	for i, st := range r.cpus {
+		if r.ViewByIndex(st.active) != v {
+			continue
+		}
+		if isText && r.opts.PDGranularSwitch {
+			continue
+		}
+		r.m.CPUs[i].EPT.SetPTE(gpaPage, hpa)
+	}
 }
 
 // covers reports whether the view shadows the page containing gva.
@@ -307,6 +459,8 @@ func (r *Runtime) AmelioratedView(idx int) (*kview.View, error) {
 
 // UnloadView de-allocates a view's pages and reverts any vCPU using it to
 // the full kernel view without interrupting the guest (Section III-B4).
+// Cache-shared pages are released (freed only when no other view maps
+// them); private copy-on-write pages are freed outright.
 func (r *Runtime) UnloadView(idx int) error {
 	v := r.ViewByIndex(idx)
 	if v == nil {
@@ -320,12 +474,17 @@ func (r *Runtime) UnloadView(idx int) error {
 			r.cpus[i].last = FullView
 		}
 	}
-	for _, hpa := range v.textPages {
-		r.m.Host.FreePage(hpa)
+	free := func(pages map[uint32]uint32) {
+		for gpa, hpa := range pages {
+			if v.shared[gpa] {
+				r.cache.Release(hpa)
+			} else {
+				r.m.Host.FreePage(hpa)
+			}
+		}
 	}
-	for _, hpa := range v.modPages {
-		r.m.Host.FreePage(hpa)
-	}
+	free(v.textPages)
+	free(v.modPages)
 	for name, i := range r.byName {
 		if i == idx {
 			delete(r.byName, name)

@@ -1,0 +1,162 @@
+package mem
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+)
+
+// PageCache is a content-addressed store of shadow pages. Kernel views are
+// dominated by byte-identical pages — the UD2 filler page and pages of
+// shared core code loaded by many views — so the cache interns each
+// distinct page content once and hands out the same HPA to every view that
+// maps it. Shared pages are immutable: a view that must write one (kernel
+// code recovery) first takes a private copy with Privatize (copy-on-write).
+//
+// The cache is safe for concurrent use; the profiling pool and future
+// multi-tenant view hosting may intern pages from several goroutines.
+type PageCache struct {
+	mu      sync.Mutex
+	host    *Host
+	byHash  map[[sha256.Size]byte]uint32 // content hash → HPA
+	entries map[uint32]*cacheEntry       // HPA → entry
+
+	hits, misses, privatized uint64
+}
+
+type cacheEntry struct {
+	hash [sha256.Size]byte
+	refs int
+}
+
+// CacheStats summarizes the cache: the live dedup state plus monotonic
+// counters over the cache's lifetime.
+type CacheStats struct {
+	// DistinctPages is the number of live cached pages (unique contents).
+	DistinctPages int
+	// DedupedPages is the number of live page mappings served without a
+	// copy: for each cached page, every reference beyond the first.
+	DedupedPages uint64
+	// BytesSaved is DedupedPages in bytes.
+	BytesSaved uint64
+	// Hits and Misses count Intern calls that reused respectively created
+	// a page. Privatized counts copy-on-write detachments.
+	Hits, Misses, Privatized uint64
+}
+
+// DedupRatio returns the fraction of live page mappings served by dedup
+// (0 when nothing is mapped).
+func (s CacheStats) DedupRatio() float64 {
+	total := uint64(s.DistinctPages) + s.DedupedPages
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DedupedPages) / float64(total)
+}
+
+// NewPageCache creates a cache allocating from host.
+func NewPageCache(host *Host) *PageCache {
+	return &PageCache{
+		host:    host,
+		byHash:  make(map[[sha256.Size]byte]uint32),
+		entries: make(map[uint32]*cacheEntry),
+	}
+}
+
+// Intern returns the HPA of a page whose content equals the given
+// PageSize bytes, allocating and filling one only if no live page already
+// holds that content. The caller owns one reference; drop it with Release
+// (or detach with Privatize).
+func (c *PageCache) Intern(content []byte) (uint32, error) {
+	if len(content) != PageSize {
+		return 0, fmt.Errorf("mem: intern %d bytes, want one page", len(content))
+	}
+	h := sha256.Sum256(content)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if hpa, ok := c.byHash[h]; ok {
+		c.entries[hpa].refs++
+		c.hits++
+		return hpa, nil
+	}
+	hpa := c.host.AllocPage()
+	if err := c.host.Write(hpa, content); err != nil {
+		return 0, fmt.Errorf("mem: intern: %w", err)
+	}
+	c.byHash[h] = hpa
+	c.entries[hpa] = &cacheEntry{hash: h, refs: 1}
+	c.misses++
+	return hpa, nil
+}
+
+// Release drops one reference to a cached page, freeing it when no view
+// maps it anymore.
+func (c *PageCache) Release(hpa uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.releaseLocked(hpa)
+}
+
+func (c *PageCache) releaseLocked(hpa uint32) {
+	e, ok := c.entries[hpa]
+	if !ok {
+		return
+	}
+	e.refs--
+	if e.refs > 0 {
+		return
+	}
+	delete(c.byHash, e.hash)
+	delete(c.entries, hpa)
+	c.host.FreePage(hpa)
+}
+
+// Privatize gives the caller a freshly allocated private copy of a cached
+// page and drops the caller's reference to the shared one — the
+// copy-on-write step taken before a view's shadow page is written. The
+// returned page is not tracked by the cache.
+func (c *PageCache) Privatize(hpa uint32) (uint32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[hpa]; !ok {
+		return 0, fmt.Errorf("mem: privatize %#x: not a cached page", hpa)
+	}
+	buf := make([]byte, PageSize)
+	if err := c.host.Read(hpa, buf); err != nil {
+		return 0, fmt.Errorf("mem: privatize: %w", err)
+	}
+	private := c.host.AllocPage()
+	if err := c.host.Write(private, buf); err != nil {
+		return 0, fmt.Errorf("mem: privatize: %w", err)
+	}
+	c.privatized++
+	c.releaseLocked(hpa)
+	return private, nil
+}
+
+// Refs returns the live reference count of a cached page (0 if untracked).
+func (c *PageCache) Refs(hpa uint32) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[hpa]; ok {
+		return e.refs
+	}
+	return 0
+}
+
+// Stats returns a snapshot of the cache state.
+func (c *PageCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		DistinctPages: len(c.entries),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Privatized:    c.privatized,
+	}
+	for _, e := range c.entries {
+		s.DedupedPages += uint64(e.refs - 1)
+	}
+	s.BytesSaved = s.DedupedPages * PageSize
+	return s
+}

@@ -1,0 +1,160 @@
+package mem
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func pageFilled(b byte) []byte {
+	p := make([]byte, PageSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestPageCacheInternDedups(t *testing.T) {
+	h := NewHost()
+	c := NewPageCache(h)
+	a1, err := c.Intern(pageFilled(0xAA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c.Intern(pageFilled(0xAA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Errorf("identical content interned at different pages: %#x vs %#x", a1, a2)
+	}
+	b1, err := c.Intern(pageFilled(0xBB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 == a1 {
+		t.Errorf("distinct content shares a page")
+	}
+	st := c.Stats()
+	if st.DistinctPages != 2 || st.DedupedPages != 1 || st.Hits != 1 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 2 distinct, 1 deduped, 1 hit, 2 misses", st)
+	}
+	if st.BytesSaved != PageSize {
+		t.Errorf("BytesSaved = %d, want %d", st.BytesSaved, PageSize)
+	}
+	if got := st.DedupRatio(); got < 0.33 || got > 0.34 {
+		t.Errorf("DedupRatio = %v, want 1/3", got)
+	}
+}
+
+func TestPageCacheReleaseFreesAtZero(t *testing.T) {
+	h := NewHost()
+	c := NewPageCache(h)
+	a, _ := c.Intern(pageFilled(0xAA))
+	c.Intern(pageFilled(0xAA))
+	if got := c.Refs(a); got != 2 {
+		t.Fatalf("refs = %d, want 2", got)
+	}
+	c.Release(a)
+	if got := c.Refs(a); got != 1 {
+		t.Fatalf("refs after release = %d, want 1", got)
+	}
+	c.Release(a)
+	if got := c.Refs(a); got != 0 {
+		t.Fatalf("refs after final release = %d, want 0", got)
+	}
+	// The content is gone: re-interning allocates fresh.
+	b, _ := c.Intern(pageFilled(0xAA))
+	if got := c.Stats(); got.DistinctPages != 1 || got.Misses != 2 {
+		t.Errorf("stats after re-intern = %+v, want 1 distinct / 2 misses", got)
+	}
+	_ = b
+}
+
+func TestPageCachePrivatizeCopiesAndDetaches(t *testing.T) {
+	h := NewHost()
+	c := NewPageCache(h)
+	shared, _ := c.Intern(pageFilled(0xCC))
+	c.Intern(pageFilled(0xCC)) // second reference
+	private, err := c.Privatize(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if private == shared {
+		t.Fatal("privatize returned the shared page")
+	}
+	got := make([]byte, PageSize)
+	if err := h.Read(private, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pageFilled(0xCC)) {
+		t.Error("private copy does not match shared content")
+	}
+	// Writing the private page must not disturb the shared one.
+	if err := h.Write(private, pageFilled(0xDD)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Read(shared, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pageFilled(0xCC)) {
+		t.Error("write to private copy leaked into the shared page")
+	}
+	if got := c.Refs(shared); got != 1 {
+		t.Errorf("shared refs after privatize = %d, want 1", got)
+	}
+	if got := c.Refs(private); got != 0 {
+		t.Errorf("private page is tracked by the cache (refs %d)", got)
+	}
+	if _, err := c.Privatize(private); err == nil {
+		t.Error("privatizing an untracked page should fail")
+	}
+	if st := c.Stats(); st.Privatized != 1 {
+		t.Errorf("Privatized = %d, want 1", st.Privatized)
+	}
+}
+
+func TestPageCachePrivatizeLastRefKeepsContentReadable(t *testing.T) {
+	// Privatize of the only reference must copy the bytes before the shared
+	// page is freed (FreePage zeroes it).
+	h := NewHost()
+	c := NewPageCache(h)
+	shared, _ := c.Intern(pageFilled(0xEE))
+	private, err := c.Privatize(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := h.Read(private, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pageFilled(0xEE)) {
+		t.Error("content lost when privatizing the last reference")
+	}
+}
+
+func TestPageCacheConcurrentIntern(t *testing.T) {
+	h := NewHost()
+	c := NewPageCache(h)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				hpa, err := c.Intern(pageFilled(byte(i % 4)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					c.Release(hpa)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.DistinctPages > 4 {
+		t.Errorf("%d distinct pages for 4 distinct contents", st.DistinctPages)
+	}
+}

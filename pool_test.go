@@ -1,0 +1,139 @@
+package facechange_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"facechange"
+	"facechange/internal/apps"
+)
+
+// poolApps returns the first n catalog applications.
+func poolApps(t testing.TB, n int) []apps.App {
+	t.Helper()
+	cat := apps.Catalog()
+	if len(cat) < n {
+		t.Fatalf("catalog has %d apps, need %d", len(cat), n)
+	}
+	return cat[:n]
+}
+
+// TestPoolProfileAllMatchesSerial: the concurrent pipeline must produce
+// byte-identical view configurations to a serial run — sessions are
+// independent and deterministic, so worker scheduling may not leak into
+// the results.
+func TestPoolProfileAllMatchesSerial(t *testing.T) {
+	list := poolApps(t, 4)
+	cfg := facechange.ProfileConfig{Syscalls: 250}
+	serial, err := facechange.NewPool(facechange.PoolConfig{Workers: 1}).ProfileAll(list, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := facechange.NewPool(facechange.PoolConfig{Workers: 4}).ProfileAll(list, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(list) {
+		t.Fatalf("parallel run returned %d views, want %d", len(parallel), len(list))
+	}
+	for _, a := range list {
+		bs, err := serial[a.Name].Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp, err := parallel[a.Name].Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(bs) != string(bp) {
+			t.Errorf("%s: parallel view differs from serial view", a.Name)
+		}
+	}
+}
+
+// TestPoolProfileMergedDeterministic: merged multi-seed profiling must be
+// identical no matter how many workers raced on the sessions.
+func TestPoolProfileMergedDeterministic(t *testing.T) {
+	app, ok := apps.ByName("firefox")
+	if !ok {
+		t.Fatal("no firefox app")
+	}
+	cfg := facechange.ProfileConfig{Syscalls: 250}
+	seeds := []int64{1, 2, 3, 4}
+	one, err := facechange.NewPool(facechange.PoolConfig{Workers: 1}).ProfileMerged(app, cfg, seeds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := facechange.NewPool(facechange.PoolConfig{Workers: 4}).ProfileMerged(app, cfg, seeds...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := one.Marshal()
+	b4, _ := four.Marshal()
+	if string(b1) != string(b4) {
+		t.Error("merged view depends on worker count")
+	}
+}
+
+// TestProfileAllAggregatesErrors: a failing run reports every failed app,
+// in input order, instead of aborting at the first failure.
+func TestProfileAllAggregatesErrors(t *testing.T) {
+	list := poolApps(t, 3)
+	// A budget far too small for any workload to finish makes every
+	// session fail deterministically.
+	cfg := facechange.ProfileConfig{Syscalls: 600, Budget: 100_000}
+	views, err := facechange.ProfileAll(list, cfg)
+	if err == nil {
+		t.Fatal("expected aggregated failure")
+	}
+	if len(views) != 0 {
+		t.Errorf("%d views profiled under an unfinishable budget", len(views))
+	}
+	var perrs facechange.ProfileErrors
+	if !errors.As(err, &perrs) {
+		t.Fatalf("error type %T, want ProfileErrors", err)
+	}
+	if len(perrs) != len(list) {
+		t.Fatalf("%d aggregated errors, want %d", len(perrs), len(list))
+	}
+	for i, a := range list {
+		if perrs[i].App != a.Name {
+			t.Errorf("error %d is for %q, want %q (input order)", i, perrs[i].App, a.Name)
+		}
+		if !strings.Contains(err.Error(), a.Name) {
+			t.Errorf("aggregate message does not mention %s", a.Name)
+		}
+	}
+	// The per-session cause stays reachable through the aggregate.
+	if !strings.Contains(perrs[0].Error(), "did not finish") {
+		t.Errorf("per-app error lost the cause: %v", perrs[0])
+	}
+}
+
+// TestProfileAllPartialFailureKeepsSuccesses: when only some sessions
+// fail, the successful views are still returned alongside the aggregate
+// error.
+func TestProfileAllPartialFailureKeepsSuccesses(t *testing.T) {
+	good := poolApps(t, 2)
+	// A module the kernel image cannot link makes exactly this app's
+	// session fail while the others profile normally.
+	bad := apps.App{Name: "doomed", Modules: []string{"no_such_module"}}
+	list := append(append([]apps.App{}, good...), bad)
+	views, err := facechange.NewPool(facechange.PoolConfig{Workers: 3}).ProfileAll(list, facechange.ProfileConfig{Syscalls: 200})
+	if err == nil {
+		t.Fatal("expected aggregated failure for the doomed app")
+	}
+	var perrs facechange.ProfileErrors
+	if !errors.As(err, &perrs) {
+		t.Fatalf("error type %T, want ProfileErrors", err)
+	}
+	if len(perrs) != 1 || perrs[0].App != "doomed" {
+		t.Fatalf("aggregated errors = %v, want exactly the doomed app", err)
+	}
+	for _, a := range good {
+		if views[a.Name] == nil {
+			t.Errorf("successful app %s missing from partial results", a.Name)
+		}
+	}
+}
