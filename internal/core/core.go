@@ -95,6 +95,10 @@ type Runtime struct {
 	// filler, shared loaded code) are stored once across views.
 	cache *mem.PageCache
 
+	// inj, when non-nil, injects faults into the runtime's guest-memory
+	// channels and EPT updates (the simulator's hook; nil in production).
+	inj mem.FaultInjector
+
 	cpus           []*cpuViewState
 	resumeTrapRefs int
 
@@ -164,8 +168,13 @@ func (r *Runtime) Disable() {
 		r.disarmResume()
 	}
 	for i, cpu := range r.m.CPUs {
+		// Restoring the full view never consults the injector and cannot
+		// fail; every vCPU lands on pristine mappings.
 		r.switchTo(cpu, FullView)
 		r.cpus[i].last = FullView
+		// A pending deferred switch would otherwise leave resumeArmed set
+		// with the shared breakpoint refcount already drained.
+		r.cpus[i].resumeArmed = false
 	}
 	r.enabled = false
 }
@@ -176,6 +185,18 @@ func (r *Runtime) Enabled() bool { return r.enabled }
 // CacheStats reports the shadow-page cache's dedup state: distinct pages
 // stored, page mappings served without a copy, and bytes saved.
 func (r *Runtime) CacheStats() mem.CacheStats { return r.cache.Stats() }
+
+// Cache exposes the shadow-page cache (for pressure knobs and invariant
+// checks; the simulator uses it, production code should not).
+func (r *Runtime) Cache() *mem.PageCache { return r.cache }
+
+// SetFaultInjector attaches a fault injector to every injectable runtime
+// channel: VMI reads, backtrace stack reads, pristine physical reads, the
+// prologue scan, EPT remaps and cache interning. Passing nil detaches.
+func (r *Runtime) SetFaultInjector(inj mem.FaultInjector) {
+	r.inj = inj
+	r.cache.SetFaultInjector(inj)
+}
 
 func (r *Runtime) armResume() {
 	if r.resumeTrapRefs == 0 {
@@ -196,8 +217,41 @@ func (r *Runtime) disarmResume() {
 
 // vmiAcc returns an accessor that reads guest virtual memory exactly as
 // the given vCPU would (through its EPT) — the runtime's VMI channel.
-func (r *Runtime) vmiAcc(cpu *hv.CPU) mem.Accessor {
-	return mem.Accessor{AS: r.kernelAS, EPT: cpu.EPT, Host: r.m.Host}
+// With an injector attached, VMI reads can fail or return corrupt bytes.
+func (r *Runtime) vmiAcc(cpu *hv.CPU) mem.Access {
+	acc := mem.Accessor{AS: r.kernelAS, EPT: cpu.EPT, Host: r.m.Host}
+	return mem.WrapAccess(acc, mem.FaultVMIRead, r.inj)
+}
+
+// physRead reads pristine guest-physical bytes (the channel that feeds
+// shadow-page contents), subject to injected failures. Content reads are
+// never corrupted — see mem.FaultPhysRead — so anything that lands in a
+// view is byte-faithful to the pristine kernel.
+func (r *Runtime) physRead(gpa uint32, buf []byte) error {
+	if r.inj != nil {
+		if err := r.inj.Fault(mem.FaultPhysRead, gpa, len(buf)); err != nil {
+			return err
+		}
+	}
+	return r.m.Host.Read(gpa, buf)
+}
+
+// scanRead reads the pristine region backing the prologue scan. Injected
+// corruption here makes funcSpan miss prologues and widen spans — a
+// behavioral fault the runtime must absorb without corrupting content.
+func (r *Runtime) scanRead(gpa uint32, buf []byte) error {
+	if r.inj != nil {
+		if err := r.inj.Fault(mem.FaultScanRead, gpa, len(buf)); err != nil {
+			return err
+		}
+	}
+	if err := r.m.Host.Read(gpa, buf); err != nil {
+		return err
+	}
+	if r.inj != nil {
+		r.inj.Corrupt(mem.FaultScanRead, gpa, buf)
+	}
+	return nil
 }
 
 // readRQCurr reads the incoming task's pid and comm via VMI at a
@@ -254,6 +308,13 @@ func (r *Runtime) readModules(cpu *hv.CPU) ([]vmiModule, error) {
 		nameBuf := make([]byte, kernel.VMIModNameLen)
 		if err := acc.Read(base+8, nameBuf); err != nil {
 			return nil, err
+		}
+		// The module list is untrusted guest data (and, under the
+		// simulator, subject to injected corruption): an entry that does
+		// not describe a sane module-area range would otherwise send
+		// LoadView staging pages across the whole address space.
+		if sz == 0 || !mem.IsModuleGVA(b) || !mem.IsModuleGVA(b+sz-1) {
+			return nil, fmt.Errorf("core: implausible module entry %d: [%#x,%#x)", i, b, b+sz)
 		}
 		mods = append(mods, vmiModule{
 			Name: strings.TrimRight(string(nameBuf), "\x00"),

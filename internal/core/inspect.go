@@ -1,0 +1,103 @@
+// White-box inspection and self-check API for the fault-injection
+// simulator (internal/sim). These helpers expose exactly the runtime
+// bookkeeping the simulator's invariant checkers need — switch state,
+// shared-page sets, EPT agreement — without leaking mutable internals.
+package core
+
+import (
+	"fmt"
+
+	"facechange/internal/mem"
+)
+
+// NumViewSlots returns the size of the view table, including the full view
+// at index 0 and holes left by unloaded views.
+func (r *Runtime) NumViewSlots() int { return len(r.views) }
+
+// LoadedIndices returns the indices of all currently loaded views, in
+// ascending order.
+func (r *Runtime) LoadedIndices() []int {
+	var out []int
+	for i, v := range r.views {
+		if v != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// LastView returns the deferred-switch target recorded for a vCPU.
+func (r *Runtime) LastView(cpuID int) int { return r.cpus[cpuID].last }
+
+// ResumeArmed reports whether a vCPU has a deferred switch pending at the
+// resume-userspace trap.
+func (r *Runtime) ResumeArmed(cpuID int) bool { return r.cpus[cpuID].resumeArmed }
+
+// ResumeTrapRefs returns the shared resume-breakpoint reference count.
+func (r *Runtime) ResumeTrapRefs() int { return r.resumeTrapRefs }
+
+// TextSize returns the base kernel text size the runtime shadows.
+func (r *Runtime) TextSize() uint32 { return r.textSize }
+
+// SharedPageSet returns a copy of the view's cache-shared page set (GPA
+// pages whose shadow HPA is an immutable cache page).
+func (v *LoadedView) SharedPageSet() map[uint32]bool {
+	out := make(map[uint32]bool, len(v.shared))
+	for gpa := range v.shared {
+		out[gpa] = true
+	}
+	return out
+}
+
+// CheckSwitchState verifies the per-vCPU switch bookkeeping: every active
+// and deferred index names a live view (or the full view), the armed
+// flags sum to the shared breakpoint refcount, and a disabled runtime
+// holds no armed traps. It returns the first inconsistency found.
+func (r *Runtime) CheckSwitchState() error {
+	armed := 0
+	for i, st := range r.cpus {
+		if st.active != FullView && r.ViewByIndex(st.active) == nil {
+			return fmt.Errorf("core: cpu%d active view %d is not loaded", i, st.active)
+		}
+		if st.last != FullView && r.ViewByIndex(st.last) == nil {
+			return fmt.Errorf("core: cpu%d deferred view %d is not loaded", i, st.last)
+		}
+		if st.resumeArmed {
+			armed++
+		}
+	}
+	if armed != r.resumeTrapRefs {
+		return fmt.Errorf("core: %d vCPUs armed but resume refcount is %d", armed, r.resumeTrapRefs)
+	}
+	if !r.enabled && r.resumeTrapRefs != 0 {
+		return fmt.Errorf("core: runtime disabled with resume refcount %d", r.resumeTrapRefs)
+	}
+	return nil
+}
+
+// CheckVCPUMappings verifies that a vCPU's EPT agrees with its active
+// view for the given sample of GPA pages: text and module pages must
+// translate to the active view's shadow pages, everything else (and every
+// page under the full view) must translate identity. This is the
+// freed-page tripwire: an EPT still pointing at a released shadow page
+// disagrees with the live view maps.
+func (r *Runtime) CheckVCPUMappings(cpuID int, samples []uint32) error {
+	cpu := r.m.CPUs[cpuID]
+	v := r.ViewByIndex(r.cpus[cpuID].active)
+	for _, gpa := range samples {
+		page := mem.PageAlignDown(gpa)
+		want := page // identity
+		if v != nil {
+			if hpa, ok := v.textPages[page]; ok {
+				want = hpa
+			} else if hpa, ok := v.modPages[page]; ok {
+				want = hpa
+			}
+		}
+		if got, _ := cpu.EPT.TranslatePage(page); got != want {
+			return fmt.Errorf("core: cpu%d EPT maps %#x → %#x, active view %d expects %#x",
+				cpuID, page, got, r.cpus[cpuID].active, want)
+		}
+	}
+	return nil
+}

@@ -105,7 +105,11 @@ func (r *Runtime) OnInvalidOpcode(m *hv.Machine, cpu *hv.CPU) (bool, error) {
 func (r *Runtime) backtrace(cpu *hv.CPU) ([]Frame, []uint32) {
 	var frames []Frame
 	var instant []uint32
-	acc := cpu.Mem()
+	// Stack reads can fail or return corrupt bytes under injection; the
+	// walk already treats every read defensively (break on error, validate
+	// each value), so a corrupted frame terminates or truncates the trace
+	// instead of wedging recovery.
+	acc := mem.WrapAccess(cpu.Mem(), mem.FaultStackRead, r.inj)
 	ebp := cpu.EBP
 	for depth := 0; depth < 64; depth++ {
 		if ebp == 0 || ebp < mem.KernelBase {

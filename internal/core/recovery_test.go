@@ -1,0 +1,231 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"facechange/internal/kernel"
+	"facechange/internal/mem"
+)
+
+// recRig puts cpu0 actively on appA so UD2 exits are view violations.
+func recRig(t *testing.T) *switchRig {
+	t.Helper()
+	rig := newSwitchRig(t, 1, DefaultOptions())
+	rig.trap(t, 0, "ctx", "appA")
+	rig.trap(t, 0, "resume", "")
+	if got := rig.rt.ActiveView(0); got != rig.idx["appA"] {
+		t.Fatalf("setup: cpu0 active = %d, want appA (%d)", got, rig.idx["appA"])
+	}
+	return rig
+}
+
+// uncoveredFn returns a base-kernel function outside both rig views.
+func uncoveredFn(t *testing.T, rig *switchRig, name string) *kernel.Func {
+	t.Helper()
+	f, ok := rig.k.Syms.ByName(name)
+	if !ok {
+		t.Fatalf("missing symbol %s", name)
+	}
+	return f
+}
+
+// writeFrame fabricates one EBP frame at gva: [gva] = prevEBP,
+// [gva+4] = return address.
+func writeFrame(t *testing.T, rig *switchRig, gva, prevEBP, prevRIP uint32) {
+	t.Helper()
+	base := gva - mem.KernelBase
+	if err := rig.k.Host.WriteU32(base, prevEBP); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.k.Host.WriteU32(base+4, prevRIP); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBacktraceErrorPaths: a corrupted, looping, or unreadable stack must
+// degrade the backtrace, never the recovery itself (Algorithm 1 treats
+// every stack read defensively).
+func TestBacktraceErrorPaths(t *testing.T) {
+	const stackTop = mem.KernelStackGVA + 0x400
+
+	cases := []struct {
+		name string
+		// setup fabricates the stack and returns the EBP to install.
+		setup      func(t *testing.T, rig *switchRig) uint32
+		wantFrames int
+	}{
+		{
+			// A frame whose saved return address is below the kernel base:
+			// IS_VALID fails and the walk stops before recording it.
+			name: "return-address-below-kernel-base",
+			setup: func(t *testing.T, rig *switchRig) uint32 {
+				writeFrame(t, rig, stackTop, 0, 0x1000)
+				return stackTop
+			},
+			wantFrames: 0,
+		},
+		{
+			// A self-looping EBP chain must be bounded by the depth cap, not
+			// walked forever.
+			name: "self-looping-frame-chain",
+			setup: func(t *testing.T, rig *switchRig) uint32 {
+				caller := uncoveredFn(t, rig, "sys_getpid") // covered by appA: pristine bytes, no instant
+				writeFrame(t, rig, stackTop, stackTop, caller.Addr+2)
+				return stackTop
+			},
+			wantFrames: 64,
+		},
+		{
+			// EBP pointing outside mapped guest memory: the first stack read
+			// errors and the trace is empty.
+			name: "unmapped-ebp",
+			setup: func(t *testing.T, rig *switchRig) uint32 {
+				return 0xCF000000
+			},
+			wantFrames: 0,
+		},
+		{
+			// A zero EBP (leaf/omitted frame pointer) never enters the walk.
+			name: "zero-ebp",
+			setup: func(t *testing.T, rig *switchRig) uint32 {
+				return 0
+			},
+			wantFrames: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rig := recRig(t)
+			cpu := rig.k.M.CPUs[0]
+			fn := uncoveredFn(t, rig, "sys_write")
+			cpu.EIP = fn.Addr // even offset: UD2 traps
+			cpu.EBP = tc.setup(t, rig)
+
+			handled, err := rig.rt.OnInvalidOpcode(rig.k.M, cpu)
+			if err != nil || !handled {
+				t.Fatalf("OnInvalidOpcode = (%v, %v), want (true, nil)", handled, err)
+			}
+			if got := rig.rt.Recoveries; got != 1 {
+				t.Fatalf("Recoveries = %d, want 1 (stack trouble must not block recovery)", got)
+			}
+			ev := rig.rt.Log()[0]
+			if got := len(ev.Backtrace); got != tc.wantFrames {
+				t.Errorf("backtrace has %d frames, want %d", got, tc.wantFrames)
+			}
+			if ev.Addr != fn.Addr || ev.FnStart != fn.Addr || ev.FnEnd != fn.End() {
+				t.Errorf("recovered [%#x,%#x) at %#x, want fn [%#x,%#x)",
+					ev.FnStart, ev.FnEnd, ev.Addr, fn.Addr, fn.End())
+			}
+		})
+	}
+}
+
+// TestLazyVsInstantRecovery: an even-aligned entry traps and recovers
+// lazily; a caller whose odd return site reads "0B 0F" through the view
+// cannot trap and must be recovered instantly during the backtrace
+// (Figure 3).
+func TestLazyVsInstantRecovery(t *testing.T) {
+	rig := recRig(t)
+	cpu := rig.k.M.CPUs[0]
+	f1 := uncoveredFn(t, rig, "sys_write")
+	f2 := uncoveredFn(t, rig, "sys_open")
+
+	// One fabricated frame returning into f2 at an odd offset: the shadow
+	// fill bytes there parse as OR, so the return site reads "0B 0F".
+	const frame = mem.KernelStackGVA + 0x200
+	ret := f2.Addr + 1
+	writeFrame(t, rig, frame, 0, ret)
+	cpu.EIP = f1.Addr
+	cpu.EBP = frame
+
+	handled, err := rig.rt.OnInvalidOpcode(rig.k.M, cpu)
+	if err != nil || !handled {
+		t.Fatalf("OnInvalidOpcode = (%v, %v), want (true, nil)", handled, err)
+	}
+	log := rig.rt.Log()
+	if len(log) != 2 {
+		t.Fatalf("%d recovery events, want 2 (lazy + instant):\n%v", len(log), log)
+	}
+	lazy, instant := log[0], log[1]
+	if lazy.Instant || lazy.Addr != f1.Addr {
+		t.Errorf("first event = instant=%v addr=%#x, want lazy at %#x", lazy.Instant, lazy.Addr, f1.Addr)
+	}
+	if !instant.Instant || instant.Addr != ret {
+		t.Errorf("second event = instant=%v addr=%#x, want instant at %#x", instant.Instant, instant.Addr, ret)
+	}
+	if instant.FnStart != f2.Addr || instant.FnEnd != f2.End() {
+		t.Errorf("instant recovery span [%#x,%#x), want whole fn [%#x,%#x)",
+			instant.FnStart, instant.FnEnd, f2.Addr, f2.End())
+	}
+	if got := rig.rt.InstantRecoveries; got != 1 {
+		t.Errorf("InstantRecoveries = %d, want 1", got)
+	}
+	if !strings.Contains(instant.String(), "(instant)") {
+		t.Errorf("instant event renders without the (instant) marker:\n%s", instant)
+	}
+}
+
+// TestRegionOf covers the region resolver's error paths directly: code
+// addresses resolve to the base kernel or an identified module; anything
+// else — data, or module-area addresses no module claims — is an error.
+func TestRegionOf(t *testing.T) {
+	rig := newSwitchRig(t, 1, DefaultOptions())
+	cpu := rig.k.M.CPUs[0]
+
+	start, end, space, err := rig.rt.regionOf(cpu, mem.KernelTextGVA+100)
+	if err != nil || space != "" || start != mem.KernelTextGVA || end != mem.KernelTextGVA+rig.rt.textSize {
+		t.Errorf("text regionOf = [%#x,%#x) %q, %v; want base kernel text", start, end, space, err)
+	}
+
+	if _, _, _, err := rig.rt.regionOf(cpu, mem.KernelDataGVA+0x10); err == nil {
+		t.Error("data address resolved to a code region")
+	}
+	if _, _, _, err := rig.rt.regionOf(cpu, mem.ModuleGVA+0x10); err == nil {
+		t.Error("module-area address resolved with no modules loaded")
+	}
+
+	mi, err := rig.k.LoadModule("af_packet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, end, space, err = rig.rt.regionOf(cpu, mi.Base+4)
+	if err != nil || space != mi.Name || start != mi.Base || end != mi.Base+mi.Size {
+		t.Errorf("module regionOf = [%#x,%#x) %q, %v; want %s [%#x,%#x)",
+			start, end, space, err, mi.Name, mi.Base, mi.Base+mi.Size)
+	}
+	// Past the module's end but before the next page: still unclaimed.
+	if _, _, _, err := rig.rt.regionOf(cpu, mi.Base+mi.Size); err == nil {
+		t.Error("address past module end resolved to a region")
+	}
+}
+
+// TestOnInvalidOpcodeNotAViolation: UD2 under the full view, or outside
+// every page the active view shadows, is a genuine guest fault the
+// handler must decline.
+func TestOnInvalidOpcodeNotAViolation(t *testing.T) {
+	t.Run("full-view", func(t *testing.T) {
+		rig := newSwitchRig(t, 1, DefaultOptions())
+		cpu := rig.k.M.CPUs[0]
+		cpu.EIP = mem.KernelTextGVA + 64
+		handled, err := rig.rt.OnInvalidOpcode(rig.k.M, cpu)
+		if handled || err != nil {
+			t.Errorf("OnInvalidOpcode under full view = (%v, %v), want (false, nil)", handled, err)
+		}
+		if rig.rt.Recoveries != 0 {
+			t.Errorf("Recoveries = %d, want 0", rig.rt.Recoveries)
+		}
+	})
+	t.Run("unshadowed-page", func(t *testing.T) {
+		rig := recRig(t)
+		cpu := rig.k.M.CPUs[0]
+		cpu.EIP = mem.ModuleGVA + 2 // appA shadows no module pages
+		handled, err := rig.rt.OnInvalidOpcode(rig.k.M, cpu)
+		if handled || err != nil {
+			t.Errorf("OnInvalidOpcode off-view = (%v, %v), want (false, nil)", handled, err)
+		}
+		if rig.rt.Recoveries != 0 {
+			t.Errorf("Recoveries = %d, want 0", rig.rt.Recoveries)
+		}
+	})
+}

@@ -33,8 +33,7 @@ func (r *Runtime) OnAddrTrap(m *hv.Machine, cpu *hv.CPU) error {
 				st.resumeArmed = false
 				r.disarmResume()
 			}
-			r.switchTo(cpu, idx)
-			return nil
+			return r.switchTo(cpu, idx)
 		}
 		// Custom view: defer the switch to resume_userspace so pending
 		// interrupts for the outgoing view are not missed.
@@ -50,8 +49,7 @@ func (r *Runtime) OnAddrTrap(m *hv.Machine, cpu *hv.CPU) error {
 		}
 		st.resumeArmed = false
 		r.disarmResume()
-		r.switchTo(cpu, st.last)
-		return nil
+		return r.switchTo(cpu, st.last)
 	default:
 		return fmt.Errorf("core: unexpected address trap at %#x", cpu.EIP)
 	}
@@ -60,12 +58,35 @@ func (r *Runtime) OnAddrTrap(m *hv.Machine, cpu *hv.CPU) error {
 // switchTo points the vCPU's EPT at the kernel view with the given index
 // (steps 3A/3B of Figure 2) and charges the simulated cost of the EPT
 // updates.
-func (r *Runtime) switchTo(cpu *hv.CPU, idx int) {
+//
+// Installing a custom view is fallible (an attached injector models failed
+// EPT remaps); the error path falls back to the full kernel view, which is
+// an infallible identity restore, so a vCPU is never left half-mapped and
+// its active index always names a live view.
+func (r *Runtime) switchTo(cpu *hv.CPU, idx int) error {
 	st := r.cpus[cpu.ID]
 	if st.active == idx && r.opts.SameViewElision {
 		// Redundant switch elided. Without the optimization the EPT
 		// entries are rewritten (and paid for) even when nothing changes,
 		// which is what the ablation benchmark measures.
+		return nil
+	}
+	if idx != FullView && r.inj != nil {
+		if err := r.inj.Fault(mem.FaultEPTRemap, uint32(idx), 0); err != nil {
+			r.applySwitch(cpu, FullView)
+			return fmt.Errorf("core: switch cpu%d to view %d: %w", cpu.ID, idx, err)
+		}
+	}
+	r.applySwitch(cpu, idx)
+	return nil
+}
+
+// applySwitch performs the EPT rewrites for a committed switch decision.
+func (r *Runtime) applySwitch(cpu *hv.CPU, idx int) {
+	st := r.cpus[cpu.ID]
+	if st.active == idx && r.opts.SameViewElision {
+		// The fault fallback lands here when the vCPU is already on the
+		// full view: nothing to rewrite.
 		return
 	}
 	old := r.ViewByIndex(st.active)

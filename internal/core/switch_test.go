@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"maps"
 	"testing"
 
 	"facechange/internal/kernel"
@@ -245,6 +247,140 @@ func TestOnAddrTrapTable(t *testing.T) {
 				t.Errorf("ViewSwitches = %d, want %d", rig.rt.ViewSwitches, tc.switches)
 			}
 		})
+	}
+}
+
+// TestUnloadActiveView: unloading a view that a vCPU is actively running
+// under must revert that vCPU to the pristine full view, and a deferred
+// switch targeting the unloaded view must resolve to the full view at the
+// pending resume trap — never to a freed page table.
+func TestUnloadActiveView(t *testing.T) {
+	rig := newSwitchRig(t, 2, DefaultOptions())
+	rig.rt.Enable()
+	idx := rig.idx["appA"]
+
+	// cpu0 ends up actively on appA; cpu1 has a deferred switch to appA.
+	rig.trap(t, 0, "ctx", "appA")
+	rig.trap(t, 0, "resume", "")
+	rig.trap(t, 1, "ctx", "appA")
+	if got := rig.rt.ActiveView(0); got != idx {
+		t.Fatalf("setup: cpu0 active = %d, want %d", got, idx)
+	}
+	if !rig.rt.ResumeArmed(1) || rig.rt.LastView(1) != idx {
+		t.Fatalf("setup: cpu1 armed=%v last=%d, want deferred switch to %d",
+			rig.rt.ResumeArmed(1), rig.rt.LastView(1), idx)
+	}
+
+	if err := rig.rt.UnloadView(idx); err != nil {
+		t.Fatalf("UnloadView of active view: %v", err)
+	}
+
+	// cpu0 reverted to the full view with identity EPT.
+	if got := rig.rt.ActiveView(0); got != FullView {
+		t.Errorf("cpu0 active = %d after unload, want full view", got)
+	}
+	if _, redirected := rig.k.M.CPUs[0].EPT.TranslatePage(mem.KernelTextGPA); redirected {
+		t.Error("cpu0 text page still redirected after unloading its active view")
+	}
+	// cpu1's deferred switch retargeted to the full view, trap still armed.
+	if got := rig.rt.LastView(1); got != FullView {
+		t.Errorf("cpu1 deferred view = %d after unload, want full view", got)
+	}
+	if !rig.rt.ResumeArmed(1) {
+		t.Error("cpu1 resume trap disarmed by unload; pending resume would be missed")
+	}
+	if err := rig.rt.CheckSwitchState(); err != nil {
+		t.Errorf("inconsistent switch state after unload: %v", err)
+	}
+
+	// The pending resume resolves cleanly to the full view.
+	rig.trap(t, 1, "resume", "")
+	if got := rig.rt.ActiveView(1); got != FullView {
+		t.Errorf("cpu1 active = %d after deferred resume, want full view", got)
+	}
+	if got := rig.rt.ResumeTrapRefs(); got != 0 {
+		t.Errorf("resume refcount = %d after all resumes, want 0", got)
+	}
+
+	// The slot is gone: double unload fails, the name no longer resolves.
+	if err := rig.rt.UnloadView(idx); err == nil {
+		t.Error("second UnloadView of the same index succeeded")
+	}
+	if got := rig.rt.ViewIndex("appA"); got != FullView {
+		t.Errorf("ViewIndex(appA) = %d after unload, want full view", got)
+	}
+}
+
+// TestUnloadActiveViewImmediate is the same hazard without deferral: with
+// switch-at-resume off the view is installed at the context-switch trap,
+// so the unload itself must pull the EPT redirects.
+func TestUnloadActiveViewImmediate(t *testing.T) {
+	opts := DefaultOptions()
+	opts.SwitchAtResume = false
+	opts.SameViewElision = false
+	rig := newSwitchRig(t, 1, opts)
+	idx := rig.idx["appB"]
+
+	rig.trap(t, 0, "ctx", "appB")
+	if got := rig.rt.ActiveView(0); got != idx {
+		t.Fatalf("setup: cpu0 active = %d, want %d", got, idx)
+	}
+	if err := rig.rt.UnloadView(idx); err != nil {
+		t.Fatalf("UnloadView: %v", err)
+	}
+	if got := rig.rt.ActiveView(0); got != FullView {
+		t.Errorf("cpu0 active = %d after unload, want full view", got)
+	}
+	if _, redirected := rig.k.M.CPUs[0].EPT.TranslatePage(mem.KernelTextGPA); redirected {
+		t.Error("text page still redirected after unload")
+	}
+	if err := rig.rt.CheckSwitchState(); err != nil {
+		t.Errorf("inconsistent switch state: %v", err)
+	}
+}
+
+// TestLoadViewPartialFailureReleasesCache: when staging fails midway
+// (cache pressure on a fresh page), LoadView must release every page it
+// already interned — the cache snapshot is identical before and after the
+// failed load, and lifting the limit lets the same load succeed.
+func TestLoadViewPartialFailureReleasesCache(t *testing.T) {
+	rig := newSwitchRig(t, 1, DefaultOptions())
+	c := rig.rt.Cache()
+
+	before := c.Snapshot()
+	// Cap the cache at its current population: re-interning resident
+	// content still succeeds, but the first page with fresh content fails.
+	c.SetLimit(c.Stats().DistinctPages)
+
+	f, ok := rig.k.Syms.ByName("sys_write")
+	if !ok {
+		t.Fatal("missing symbol sys_write")
+	}
+	cfg := kview.NewView("appC")
+	cfg.Insert(kview.BaseKernel, f.Addr, f.End())
+
+	if _, err := rig.rt.LoadView(cfg); !errors.Is(err, mem.ErrCachePressure) {
+		t.Fatalf("LoadView under cache pressure: err = %v, want ErrCachePressure", err)
+	}
+	after := c.Snapshot()
+	if !maps.Equal(before, after) {
+		t.Fatalf("failed LoadView leaked cache references:\n before %v\n after  %v", before, after)
+	}
+	if got := rig.rt.ViewIndex("appC"); got != FullView {
+		t.Errorf("failed load left appC resolvable to view %d", got)
+	}
+
+	// Lifting the limit makes the identical load succeed.
+	c.SetLimit(0)
+	idx, err := rig.rt.LoadView(cfg)
+	if err != nil {
+		t.Fatalf("LoadView after lifting limit: %v", err)
+	}
+	if err := rig.rt.UnloadView(idx); err != nil {
+		t.Fatal(err)
+	}
+	if !maps.Equal(before, c.Snapshot()) {
+		t.Error("load/unload cycle did not restore the cache snapshot")
 	}
 }
 

@@ -216,6 +216,9 @@ func (r *Runtime) LoadView(cfg *kview.View) (int, error) {
 		}
 		hpa, err := r.cache.Intern(content)
 		if err != nil {
+			// Partial failure (cache pressure, injected intern fault) must
+			// not leak the references already interned for this view.
+			r.releasePages(v)
 			return 0, fmt.Errorf("core: intern shadow page %#x: %w", gpa, err)
 		}
 		v.shared[gpa] = true
@@ -271,10 +274,11 @@ func (r *Runtime) stageRange(s *viewStage, v *LoadedView, start, end, regionStar
 
 // stageCopy stages n pristine bytes at guest virtual address gva (read from
 // guest *physical* memory, immune to active views) into the view under
-// construction.
+// construction. Staging failures need no unwinding: no page has been
+// interned yet, so the cache is untouched.
 func (r *Runtime) stageCopy(s *viewStage, v *LoadedView, gva uint32, n uint32) error {
 	buf := make([]byte, n)
-	if err := r.m.Host.Read(gpaFor(gva), buf); err != nil {
+	if err := r.physRead(gpaFor(gva), buf); err != nil {
 		return fmt.Errorf("core: read pristine code at %#x: %w", gva, err)
 	}
 	if err := s.write(v.Name, gva, buf); err != nil {
@@ -285,16 +289,70 @@ func (r *Runtime) stageCopy(s *viewStage, v *LoadedView, gva uint32, n uint32) e
 }
 
 // copyPhys copies n pristine bytes at guest virtual address gva into v's
-// (already materialized) shadow pages — the runtime recovery path.
+// (already materialized) shadow pages — the runtime recovery path. A
+// failure partway through (a COW allocation can fail under cache pressure)
+// restores the span's previous shadow bytes, so the view never holds code
+// the recovery bookkeeping does not record.
 func (r *Runtime) copyPhys(v *LoadedView, gva uint32, n uint32) error {
 	buf := make([]byte, n)
-	if err := r.m.Host.Read(gpaFor(gva), buf); err != nil {
+	if err := r.physRead(gpaFor(gva), buf); err != nil {
 		return fmt.Errorf("core: read pristine code at %#x: %w", gva, err)
 	}
+	snap := make([]byte, n)
+	if err := r.readShadow(v, gva, snap); err != nil {
+		return fmt.Errorf("core: snapshot shadow at %#x: %w", gva, err)
+	}
 	if err := r.viewWrite(v, gva, buf); err != nil {
+		r.restoreShadow(v, gva, snap)
 		return err
 	}
 	v.LoadedBytes += uint64(n)
+	return nil
+}
+
+// readShadow fills buf with the view's current shadow bytes at gva,
+// straight from host memory (no EPT, no injection).
+func (r *Runtime) readShadow(v *LoadedView, gva uint32, buf []byte) error {
+	return v.eachShadowPage(gva, len(buf), func(hpa uint32, off, ln int, _ uint32) error {
+		return r.m.Host.Read(hpa, buf[off:off+ln])
+	})
+}
+
+// restoreShadow writes snapshot bytes back over the view's private pages
+// in [gva, gva+len(buf)). Cache-shared pages are skipped: they are
+// immutable and a failed viewWrite never touched them. Restore targets
+// only pages the failed write already privatized, so it cannot fail.
+func (r *Runtime) restoreShadow(v *LoadedView, gva uint32, buf []byte) {
+	_ = v.eachShadowPage(gva, len(buf), func(hpa uint32, off, ln int, gpaPage uint32) error {
+		if v.shared[gpaPage] {
+			return nil
+		}
+		return r.m.Host.Write(hpa, buf[off:off+ln])
+	})
+}
+
+// eachShadowPage walks the shadow pages backing [gva, gva+n), invoking f
+// with the host page, the buffer window and the page's GPA.
+func (v *LoadedView) eachShadowPage(gva uint32, n int, f func(hpa uint32, off, ln int, gpaPage uint32) error) error {
+	off := 0
+	for n > 0 {
+		gpaPage := mem.PageAlignDown(gpaFor(gva))
+		hpa, _, ok := v.pageFor(gpaPage)
+		if !ok {
+			return fmt.Errorf("core: view %q has no shadow page for %#x", v.Name, gva)
+		}
+		pageOff := gva & (mem.PageSize - 1)
+		ln := int(mem.PageSize - pageOff)
+		if ln > n {
+			ln = n
+		}
+		if err := f(hpa+pageOff, off, ln, gpaPage); err != nil {
+			return err
+		}
+		gva += uint32(ln)
+		off += ln
+		n -= ln
+	}
 	return nil
 }
 
@@ -387,7 +445,7 @@ func (r *Runtime) funcSpan(start, end, regionStart, regionEnd uint32) (uint32, u
 		return 0, 0, fmt.Errorf("core: range [%#x,%#x) outside region [%#x,%#x)", start, end, regionStart, regionEnd)
 	}
 	region := make([]byte, regionEnd-regionStart)
-	if err := r.m.Host.Read(gpaFor(regionStart), region); err != nil {
+	if err := r.scanRead(gpaFor(regionStart), region); err != nil {
 		return 0, 0, fmt.Errorf("core: read region: %w", err)
 	}
 	const align = 16
@@ -468,12 +526,32 @@ func (r *Runtime) UnloadView(idx int) error {
 	}
 	for i, cpu := range r.m.CPUs {
 		if r.cpus[i].active == idx {
+			// Reverting a vCPU to the pristine full view is an identity
+			// restore and cannot fail, so pages are only freed below once
+			// no vCPU can still reach them.
 			r.switchTo(cpu, FullView)
 		}
 		if r.cpus[i].last == idx {
+			// A deferred switch targeting this view now resolves to the
+			// full view at the pending resume trap.
 			r.cpus[i].last = FullView
 		}
 	}
+	r.releasePages(v)
+	for name, i := range r.byName {
+		if i == idx {
+			delete(r.byName, name)
+		}
+	}
+	r.views[idx] = nil
+	return nil
+}
+
+// releasePages drops every page reference a view holds: cache-shared pages
+// are released (freed once the last view unmaps them), private
+// copy-on-write pages are freed outright. Used by UnloadView and by
+// LoadView's partial-failure unwind.
+func (r *Runtime) releasePages(v *LoadedView) {
 	free := func(pages map[uint32]uint32) {
 		for gpa, hpa := range pages {
 			if v.shared[gpa] {
@@ -485,11 +563,4 @@ func (r *Runtime) UnloadView(idx int) error {
 	}
 	free(v.textPages)
 	free(v.modPages)
-	for name, i := range r.byName {
-		if i == idx {
-			delete(r.byName, name)
-		}
-	}
-	r.views[idx] = nil
-	return nil
 }

@@ -1,0 +1,129 @@
+package mem
+
+// Fault injection for the memory system. The FACE-CHANGE runtime reads
+// guest state over three distinct channels — VMI reads of kernel data,
+// stack reads during backtraces, and pristine physical reads during view
+// staging and code recovery — and each channel can fail or return stale
+// bytes on real hardware (ballooned pages, racing guest writes, memory
+// errors). The fault injector models those failures deterministically so
+// the simulator (internal/sim) can prove the runtime's error paths leave
+// every invariant intact.
+//
+// Injection is strictly opt-in: a nil injector (the default everywhere)
+// compiles down to the plain access path.
+
+// FaultOp classifies an injectable operation so an injector can target
+// one channel without disturbing the others.
+type FaultOp int
+
+const (
+	// FaultVMIRead is a VMI read of guest kernel data (rq->curr, task
+	// structs, the module list).
+	FaultVMIRead FaultOp = iota
+	// FaultStackRead is a guest kernel-stack read during a backtrace.
+	FaultStackRead
+	// FaultPhysRead is a pristine guest-physical read that feeds shadow
+	// page contents (view staging and kernel code recovery). Injectors
+	// must only fail — never corrupt — this op: its bytes become view
+	// content and corruption would break recovery fidelity by design
+	// rather than by bug.
+	FaultPhysRead
+	// FaultScanRead is the pristine region read backing the prologue scan
+	// (funcSpan). Corrupting it makes the scan miss prologues, which must
+	// only ever widen the recovered span, never corrupt content.
+	FaultScanRead
+	// FaultEPTRemap is an EPT update installing a custom view's mappings
+	// on a vCPU.
+	FaultEPTRemap
+	// FaultIntern is a shadow-page cache allocation (modelled separately
+	// from the cache's own pressure limit so injectors can fail a single
+	// intern without reconfiguring the cache).
+	FaultIntern
+
+	// NumFaultOps is the number of fault-op kinds.
+	NumFaultOps
+)
+
+var faultOpNames = [NumFaultOps]string{
+	"vmi-read", "stack-read", "phys-read", "scan-read", "ept-remap", "intern",
+}
+
+func (op FaultOp) String() string {
+	if op < 0 || op >= NumFaultOps {
+		return "unknown-op"
+	}
+	return faultOpNames[op]
+}
+
+// FaultInjector decides, per operation, whether to inject a failure or
+// corrupt the bytes a successful read returned. Implementations must be
+// deterministic for a given seed and safe for concurrent use if the
+// wrapped structures are.
+type FaultInjector interface {
+	// Fault returns a non-nil error to fail the operation on
+	// [addr, addr+n) before it runs, or nil to let it proceed.
+	Fault(op FaultOp, addr uint32, n int) error
+	// Corrupt may mutate buf after a successful read at addr. It is only
+	// consulted for ops whose corruption is semantically safe
+	// (FaultVMIRead, FaultStackRead, FaultScanRead).
+	Corrupt(op FaultOp, addr uint32, buf []byte)
+}
+
+// Access is guest-virtual memory access as the runtime consumes it — the
+// subset of Accessor that fault wrapping preserves.
+type Access interface {
+	Read(gva uint32, buf []byte) error
+	Write(gva uint32, buf []byte) error
+	ReadU32(gva uint32) (uint32, error)
+	WriteU32(gva uint32, v uint32) error
+}
+
+// FaultAccessor wraps an Access with fault injection on the read side.
+// Writes pass through untouched: the runtime's writes land on shadow
+// pages it owns, and failing them is modelled at the cache/EPT layer
+// instead.
+type FaultAccessor struct {
+	Acc Access
+	Op  FaultOp
+	Inj FaultInjector
+}
+
+// WrapAccess attaches an injector to an accessor; a nil injector returns
+// the accessor unchanged.
+func WrapAccess(acc Access, op FaultOp, inj FaultInjector) Access {
+	if inj == nil {
+		return acc
+	}
+	return FaultAccessor{Acc: acc, Op: op, Inj: inj}
+}
+
+// Read fails or corrupts per the injector, then reads through.
+func (f FaultAccessor) Read(gva uint32, buf []byte) error {
+	if err := f.Inj.Fault(f.Op, gva, len(buf)); err != nil {
+		return err
+	}
+	if err := f.Acc.Read(gva, buf); err != nil {
+		return err
+	}
+	f.Inj.Corrupt(f.Op, gva, buf)
+	return nil
+}
+
+// Write passes through to the wrapped accessor.
+func (f FaultAccessor) Write(gva uint32, buf []byte) error {
+	return f.Acc.Write(gva, buf)
+}
+
+// ReadU32 reads a little-endian word through the faulting Read path.
+func (f FaultAccessor) ReadU32(gva uint32) (uint32, error) {
+	var b [4]byte
+	if err := f.Read(gva, b[:]); err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// WriteU32 passes through to the wrapped accessor.
+func (f FaultAccessor) WriteU32(gva uint32, v uint32) error {
+	return f.Acc.WriteU32(gva, v)
+}

@@ -8,7 +8,8 @@ import "fmt"
 // above it.
 type Host struct {
 	mem      []byte
-	nextPage uint32 // next free HPA for AllocPage
+	nextPage uint32   // next never-allocated HPA for AllocPage
+	freelist []uint32 // freed pages available for reuse (LIFO)
 }
 
 // NewHost creates host memory backing a guest with GuestRAMSize of RAM and
@@ -21,8 +22,16 @@ func NewHost() *Host {
 }
 
 // AllocPage allocates one zeroed host page outside guest RAM and returns
-// its HPA.
+// its HPA. Freed pages are reused before the bump pointer advances, so
+// long view load/unload churn keeps host memory bounded by the peak live
+// set — and a double-free becomes an observable aliasing bug instead of a
+// silent leak.
 func (h *Host) AllocPage() uint32 {
+	if n := len(h.freelist); n > 0 {
+		hpa := h.freelist[n-1]
+		h.freelist = h.freelist[:n-1]
+		return hpa
+	}
 	hpa := h.nextPage
 	h.nextPage += PageSize
 	if int(h.nextPage) > len(h.mem) {
@@ -33,13 +42,18 @@ func (h *Host) AllocPage() uint32 {
 	return hpa
 }
 
-// FreePage releases a previously allocated page. The simple bump allocator
-// only zeroes it; host memory is bounded by the run, which is fine for a
-// simulator.
+// FreePage releases a previously allocated page: it is zeroed and queued
+// for reuse by AllocPage.
 func (h *Host) FreePage(hpa uint32) {
 	for i := uint32(0); i < PageSize; i++ {
 		h.mem[hpa+i] = 0
 	}
+	h.freelist = append(h.freelist, hpa)
+}
+
+// LivePages returns the number of allocated-and-not-freed shadow pages.
+func (h *Host) LivePages() int {
+	return int((h.nextPage-GuestRAMSize)/PageSize) - len(h.freelist)
 }
 
 // Size returns the current host memory size in bytes.

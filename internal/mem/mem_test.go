@@ -389,6 +389,62 @@ func TestHostSliceAliasesMemory(t *testing.T) {
 	}
 }
 
+// TestHostFreelistReuse: freed pages are recycled LIFO before the bump
+// pointer advances, so load/unload churn keeps host memory bounded by the
+// peak live set.
+func TestHostFreelistReuse(t *testing.T) {
+	h := NewHost()
+	a := h.AllocPage()
+	b := h.AllocPage()
+	if got := h.LivePages(); got != 2 {
+		t.Fatalf("LivePages = %d after two allocs, want 2", got)
+	}
+
+	h.FreePage(a)
+	h.FreePage(b)
+	if got := h.LivePages(); got != 0 {
+		t.Fatalf("LivePages = %d after freeing both, want 0", got)
+	}
+
+	// LIFO reuse: the most recently freed page comes back first, and no
+	// fresh pages are minted while freed ones exist.
+	if got := h.AllocPage(); got != b {
+		t.Errorf("first realloc = %#x, want recycled %#x", got, b)
+	}
+	if got := h.AllocPage(); got != a {
+		t.Errorf("second realloc = %#x, want recycled %#x", got, a)
+	}
+	size := h.Size()
+
+	// Steady-state churn never grows host memory.
+	for i := 0; i < 10000; i++ {
+		h.FreePage(a)
+		if got := h.AllocPage(); got != a {
+			t.Fatalf("churn iteration %d allocated %#x, want %#x", i, got, a)
+		}
+	}
+	if h.Size() != size {
+		t.Errorf("host memory grew %d → %d bytes under steady-state churn", size, h.Size())
+	}
+	if got := h.LivePages(); got != 2 {
+		t.Errorf("LivePages = %d after churn, want 2", got)
+	}
+
+	// A recycled page is zeroed, same as a fresh one.
+	if err := h.Write(a, []byte{0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	h.FreePage(a)
+	got := h.AllocPage()
+	buf := make([]byte, 1)
+	if err := h.Read(got, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0 {
+		t.Errorf("recycled page not zeroed: %#x", buf[0])
+	}
+}
+
 func TestHostFreePageZeroes(t *testing.T) {
 	h := NewHost()
 	hpa := h.AllocPage()

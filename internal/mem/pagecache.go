@@ -2,9 +2,15 @@ package mem
 
 import (
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrCachePressure is returned by Intern when the cache's page limit is
+// reached and the content is not already resident. Callers (LoadView) must
+// unwind cleanly: release what they interned and fail the whole operation.
+var ErrCachePressure = errors.New("mem: page cache at capacity")
 
 // PageCache is a content-addressed store of shadow pages. Kernel views are
 // dominated by byte-identical pages — the UD2 filler page and pages of
@@ -20,6 +26,13 @@ type PageCache struct {
 	host    *Host
 	byHash  map[[sha256.Size]byte]uint32 // content hash → HPA
 	entries map[uint32]*cacheEntry       // HPA → entry
+
+	// maxPages bounds live distinct pages when non-zero — the cache
+	// pressure knob. Interning novel content beyond the limit fails with
+	// ErrCachePressure; re-interning resident content always succeeds.
+	maxPages int
+	// inj, when set, may fail individual Intern allocations (FaultIntern).
+	inj FaultInjector
 
 	hits, misses, privatized uint64
 }
@@ -79,6 +92,14 @@ func (c *PageCache) Intern(content []byte) (uint32, error) {
 		c.hits++
 		return hpa, nil
 	}
+	if c.maxPages > 0 && len(c.entries) >= c.maxPages {
+		return 0, ErrCachePressure
+	}
+	if c.inj != nil {
+		if err := c.inj.Fault(FaultIntern, 0, PageSize); err != nil {
+			return 0, err
+		}
+	}
 	hpa := c.host.AllocPage()
 	if err := c.host.Write(hpa, content); err != nil {
 		return 0, fmt.Errorf("mem: intern: %w", err)
@@ -121,6 +142,13 @@ func (c *PageCache) Privatize(hpa uint32) (uint32, error) {
 	if _, ok := c.entries[hpa]; !ok {
 		return 0, fmt.Errorf("mem: privatize %#x: not a cached page", hpa)
 	}
+	// The COW detach allocates a fresh page and is subject to the same
+	// injectable allocation failures as Intern.
+	if c.inj != nil {
+		if err := c.inj.Fault(FaultIntern, hpa, PageSize); err != nil {
+			return 0, err
+		}
+	}
 	buf := make([]byte, PageSize)
 	if err := c.host.Read(hpa, buf); err != nil {
 		return 0, fmt.Errorf("mem: privatize: %w", err)
@@ -132,6 +160,43 @@ func (c *PageCache) Privatize(hpa uint32) (uint32, error) {
 	c.privatized++
 	c.releaseLocked(hpa)
 	return private, nil
+}
+
+// SetLimit bounds live distinct pages (0 removes the bound). Lowering the
+// limit below current occupancy does not evict anything; it only fails
+// future interns of novel content until releases bring occupancy back
+// under the limit.
+func (c *PageCache) SetLimit(maxPages int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxPages = maxPages
+}
+
+// Limit returns the current page limit (0 = unbounded).
+func (c *PageCache) Limit() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxPages
+}
+
+// SetFaultInjector attaches a fault injector consulted on each Intern
+// allocation (nil detaches).
+func (c *PageCache) SetFaultInjector(inj FaultInjector) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inj = inj
+}
+
+// Snapshot returns the live reference count of every cached page — the
+// ground truth for refcount-balance invariant checks.
+func (c *PageCache) Snapshot() map[uint32]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[uint32]int, len(c.entries))
+	for hpa, e := range c.entries {
+		out[hpa] = e.refs
+	}
+	return out
 }
 
 // Refs returns the live reference count of a cached page (0 if untracked).

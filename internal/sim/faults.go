@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"facechange/internal/mem"
+)
+
+// FaultKind is a bitmask selecting which of the runtime's injection
+// channels are live during a simulation.
+type FaultKind uint32
+
+const (
+	// FaultVMI makes VMI reads (rq->curr, task structs, the module list)
+	// fail or return corrupt bytes.
+	FaultVMI FaultKind = 1 << iota
+	// FaultStack makes backtrace stack reads fail or return corrupt bytes
+	// (truncated and garbage frame chains).
+	FaultStack
+	// FaultPhys makes pristine physical content reads fail. Content reads
+	// are never corrupted — see mem.FaultPhysRead — so recovery fidelity
+	// is testable even under full injection.
+	FaultPhys
+	// FaultScan corrupts the prologue-scan buffer, making funcSpan miss
+	// function boundaries and widen recovery spans.
+	FaultScan
+	// FaultEPT makes custom-view EPT remaps fail (the runtime must fall
+	// back to the full view).
+	FaultEPT
+	// FaultCache makes shadow-page cache allocations fail, and enables the
+	// cache-pressure simulation events.
+	FaultCache
+
+	// FaultNone disables injection entirely.
+	FaultNone FaultKind = 0
+	// FaultAll enables every channel.
+	FaultAll = FaultVMI | FaultStack | FaultPhys | FaultScan | FaultEPT | FaultCache
+)
+
+var faultNames = map[string]FaultKind{
+	"vmi":   FaultVMI,
+	"stack": FaultStack,
+	"phys":  FaultPhys,
+	"scan":  FaultScan,
+	"ept":   FaultEPT,
+	"cache": FaultCache,
+}
+
+// ParseFaults parses a fault-channel selection: "all", "none" (or ""), or
+// a comma-separated subset of vmi, stack, phys, scan, ept, cache.
+func ParseFaults(s string) (FaultKind, error) {
+	switch strings.TrimSpace(s) {
+	case "", "none":
+		return FaultNone, nil
+	case "all":
+		return FaultAll, nil
+	}
+	var k FaultKind
+	for _, part := range strings.Split(s, ",") {
+		kind, ok := faultNames[strings.TrimSpace(part)]
+		if !ok {
+			return 0, fmt.Errorf("sim: unknown fault channel %q (want all, none, or a subset of vmi,stack,phys,scan,ept,cache)", part)
+		}
+		k |= kind
+	}
+	return k, nil
+}
+
+// String renders the mask in ParseFaults syntax.
+func (k FaultKind) String() string {
+	if k == FaultNone {
+		return "none"
+	}
+	if k == FaultAll {
+		return "all"
+	}
+	var names []string
+	for name, bit := range faultNames {
+		if k&bit != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// opKind maps a runtime injection channel to its enable bit.
+func opKind(op mem.FaultOp) FaultKind {
+	switch op {
+	case mem.FaultVMIRead:
+		return FaultVMI
+	case mem.FaultStackRead:
+		return FaultStack
+	case mem.FaultPhysRead:
+		return FaultPhys
+	case mem.FaultScanRead:
+		return FaultScan
+	case mem.FaultEPTRemap:
+		return FaultEPT
+	case mem.FaultIntern:
+		return FaultCache
+	}
+	return 0
+}
+
+// Injector implements mem.FaultInjector with its own seeded rng, so fault
+// decisions are deterministic and independent of the event stream. It is
+// armed only while the simulator applies an event to the runtime; setup
+// and invariant checking run injection-free.
+//
+// The injector is not safe for concurrent use; the simulator drives the
+// runtime from a single goroutine, and pool-profiling sessions use their
+// own kernels with no injector attached.
+type Injector struct {
+	rng   *rand.Rand
+	kinds FaultKind
+	rate  float64
+	armed bool
+
+	// Injected and Corrupted count faults returned and buffers corrupted
+	// over the whole run.
+	Injected  uint64
+	Corrupted uint64
+
+	eventActivity uint64
+}
+
+// NewInjector creates an injector firing each enabled channel with the
+// given per-operation probability.
+func NewInjector(seed int64, kinds FaultKind, rate float64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), kinds: kinds, rate: rate}
+}
+
+// Kinds returns the enabled channel mask.
+func (j *Injector) Kinds() FaultKind { return j.kinds }
+
+// Arm enables or disables injection (disarmed, every call is a no-op that
+// consumes no randomness).
+func (j *Injector) Arm(on bool) { j.armed = on }
+
+// BeginEvent resets the per-event activity counter; the simulator calls it
+// before applying each event to tell injected failures apart from genuine
+// runtime bugs.
+func (j *Injector) BeginEvent() { j.eventActivity = 0 }
+
+// EventActivity returns the number of faults injected and buffers
+// corrupted since the last BeginEvent.
+func (j *Injector) EventActivity() uint64 { return j.eventActivity }
+
+// opRate scales the base rate per channel: LoadView interns ~150 pages per
+// view, so a per-operation rate that is reasonable for the handful of VMI
+// or stack reads in an event would make every view load fail.
+func (j *Injector) opRate(op mem.FaultOp) float64 {
+	if op == mem.FaultIntern {
+		return j.rate / 20
+	}
+	return j.rate
+}
+
+// Fault implements mem.FaultInjector.
+func (j *Injector) Fault(op mem.FaultOp, addr uint32, n int) error {
+	if !j.armed || j.kinds&opKind(op) == 0 {
+		return nil
+	}
+	if j.rng.Float64() >= j.opRate(op) {
+		return nil
+	}
+	j.Injected++
+	j.eventActivity++
+	return fmt.Errorf("sim: injected %v fault at %#x (%d bytes)", op, addr, n)
+}
+
+// Corrupt implements mem.FaultInjector: scan-read corruption zeroes a
+// 16-byte-aligned window (erasing a function prologue so spans widen);
+// everything else gets a handful of flipped bytes.
+func (j *Injector) Corrupt(op mem.FaultOp, addr uint32, buf []byte) {
+	if !j.armed || j.kinds&opKind(op) == 0 || len(buf) == 0 {
+		return
+	}
+	if j.rng.Float64() >= j.rate {
+		return
+	}
+	j.Corrupted++
+	j.eventActivity++
+	if op == mem.FaultScanRead {
+		off := j.rng.Intn(len(buf)) &^ 15
+		for i := 0; i < 3 && off+i < len(buf); i++ {
+			buf[off+i] = 0
+		}
+		return
+	}
+	for i, n := 0, 1+j.rng.Intn(4); i < n; i++ {
+		buf[j.rng.Intn(len(buf))] ^= byte(1 + j.rng.Intn(255))
+	}
+}

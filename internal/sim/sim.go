@@ -1,0 +1,386 @@
+// Package sim is a seeded, deterministic fault-injection simulator for the
+// FACE-CHANGE runtime. It drives a full core.Runtime through long
+// randomized event traces — context switches across many PIDs and vCPUs,
+// UD2 trap storms, interleaved view hotplug, module load/hide churn and
+// concurrent pool profiling — while a pluggable injector fails or corrupts
+// the runtime's guest-memory channels. After every step it checks the
+// runtime's safety invariants:
+//
+//   - switch-state consistency: every vCPU's active and deferred view
+//     indices name loaded views; armed resume flags balance the shared
+//     breakpoint refcount;
+//   - cache refcount balance: the shadow-page cache tracks exactly the
+//     references the loaded views hold — no leaks, no double frees;
+//   - EPT agreement: each vCPU's mappings match its active view's shadow
+//     pages (the freed-page tripwire);
+//   - view isolation: every shadow byte equals the pristine kernel byte or
+//     the UD2 filler pattern — no foreign bytes ever land in a view;
+//   - recovery fidelity: every range the runtime recorded as recovered is
+//     byte-identical to the pristine kernel code.
+//
+// Runs are reproducible: the same seed and configuration produce the same
+// event trace and the same digest, so a failing seed is a replayable bug
+// report (see cmd/fcsim).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"facechange/internal/core"
+	"facechange/internal/kernel"
+	"facechange/internal/kview"
+	"facechange/internal/mem"
+)
+
+// Config parameterizes a simulation run. The zero value of every field is
+// replaced by a sensible default.
+type Config struct {
+	// Seed drives the event stream and the injector (default 1).
+	Seed int64
+	// Steps is the number of events a Run executes (default 1000).
+	Steps int
+	// CPUs is the number of vCPUs (default 2, max 8).
+	CPUs int
+	// Faults selects the live injection channels (default none).
+	Faults FaultKind
+	// FaultRate is the per-operation injection probability (default 0.01).
+	FaultRate float64
+	// Workers bounds pool-profiling concurrency (default 2).
+	Workers int
+	// MaxViews caps concurrently loaded views (default 6).
+	MaxViews int
+	// CheckEvery is the full-sweep cadence in steps (default 2000): byte
+	// isolation and recovery fidelity of every loaded view.
+	CheckEvery int
+	// LightEvery is the cadence of the cheap periodic checks (default 16):
+	// cache balance and sampled EPT agreement.
+	LightEvery int
+	// PoolEvery rate-limits pool-profiling events (default 2000 steps).
+	PoolEvery int
+	// NoPool disables pool-profiling events entirely.
+	NoPool bool
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) defaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Steps <= 0 {
+		c.Steps = 1000
+	}
+	if c.CPUs <= 0 {
+		c.CPUs = 2
+	}
+	if c.CPUs > 8 {
+		c.CPUs = 8
+	}
+	if c.FaultRate <= 0 {
+		c.FaultRate = 0.01
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.MaxViews <= 0 {
+		c.MaxViews = 6
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 2000
+	}
+	if c.LightEvery <= 0 {
+		c.LightEvery = 16
+	}
+	if c.PoolEvery <= 0 {
+		c.PoolEvery = 2000
+	}
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Steps is the number of events executed.
+	Steps int
+	// Digest is the deterministic trace digest (equal across identical
+	// runs).
+	Digest uint64
+	// Events counts executed events per kind.
+	Events [numKinds]uint64
+	// FaultsInjected and Corruptions count injector activity; Errors
+	// counts events whose application returned an (expected) error.
+	FaultsInjected, Corruptions, Errors uint64
+	// Recoveries, InstantRecoveries and ViewSwitches mirror the runtime's
+	// counters at the end of the run.
+	Recoveries, InstantRecoveries, ViewSwitches uint64
+	// Loads, Unloads and PoolRuns count successful hotplug operations and
+	// pool-profiling rounds.
+	Loads, Unloads, PoolRuns uint64
+	// LiveViews is the number of views still loaded at the end.
+	LiveViews int
+	// Cache is the shadow-page cache's final state.
+	Cache mem.CacheStats
+	// Violation is the failed invariant, or nil for a clean run.
+	Violation *Violation
+}
+
+// Summary renders the result for humans.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	status := "OK"
+	if r.Violation != nil {
+		status = "VIOLATION"
+	}
+	fmt.Fprintf(&b, "%d steps, digest %016x [%s]\n", r.Steps, r.Digest, status)
+	var parts []string
+	for k, n := range r.Events {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%s %d", Kind(k), n))
+		}
+	}
+	fmt.Fprintf(&b, "events:     %s\n", strings.Join(parts, ", "))
+	fmt.Fprintf(&b, "faults:     %d injected, %d corruptions, %d events errored\n",
+		r.FaultsInjected, r.Corruptions, r.Errors)
+	fmt.Fprintf(&b, "runtime:    %d switches, %d recoveries (%d instant)\n",
+		r.ViewSwitches, r.Recoveries, r.InstantRecoveries)
+	fmt.Fprintf(&b, "hotplug:    %d loads, %d unloads, %d live, %d pool runs\n",
+		r.Loads, r.Unloads, r.LiveViews, r.PoolRuns)
+	fmt.Fprintf(&b, "page cache: %d distinct, %d deduped, %.0f%% dedup, %d privatized\n",
+		r.Cache.DistinctPages, r.Cache.DedupedPages, 100*r.Cache.DedupRatio(), r.Cache.Privatized)
+	return b.String()
+}
+
+// Simulator owns one simulated machine and its runtime under test.
+type Simulator struct {
+	cfg Config
+	k   *kernel.Kernel
+	rt  *core.Runtime
+	inj *Injector
+
+	// rng drives event generation and in-event choices; crng drives
+	// invariant-check sampling, kept separate so checking cadence never
+	// perturbs the event stream.
+	rng  *rand.Rand
+	crng *rand.Rand
+
+	ctxAddr    uint32
+	resumeAddr uint32
+	textSize   uint32
+	// textFuncs are the base-kernel functions UD2 storms and synthetic
+	// views draw from.
+	textFuncs []*kernel.Func
+
+	profiled []*kview.View
+	synCount int
+	lastPool int
+	step     int
+
+	dig  *digest
+	ring []string
+
+	res Result
+}
+
+// New boots a simulation machine: a KVM-environment kernel with one
+// standard module loaded, a runtime with the paper's default options, and
+// an armed-on-demand fault injector.
+func New(cfg Config) (*Simulator, error) {
+	cfg.defaults()
+	k, err := kernel.New(kernel.Config{Clock: kernel.ClockKVM, NCPU: cfg.CPUs})
+	if err != nil {
+		return nil, fmt.Errorf("sim: boot kernel: %w", err)
+	}
+	if _, err := k.LoadModule("af_packet"); err != nil {
+		return nil, fmt.Errorf("sim: boot module: %w", err)
+	}
+	rt, err := core.New(core.Setup{
+		Machine:  k.M,
+		Symbols:  k.Syms,
+		TextSize: k.Img.TextSize(),
+		Opts:     core.DefaultOptions(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: attach runtime: %w", err)
+	}
+	inj := NewInjector(cfg.Seed^0x5DEECE66D, cfg.Faults, cfg.FaultRate)
+	rt.SetFaultInjector(inj)
+	rt.Enable()
+
+	s := &Simulator{
+		cfg:        cfg,
+		k:          k,
+		rt:         rt,
+		inj:        inj,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		crng:       rand.New(rand.NewSource(cfg.Seed ^ 0x1F123BB5)),
+		ctxAddr:    k.Syms.MustAddr("context_switch"),
+		resumeAddr: k.Syms.MustAddr("resume_userspace"),
+		textSize:   k.Img.TextSize(),
+		dig:        newDigest(),
+	}
+	for _, f := range k.Syms.Funcs() {
+		if f.Module == "" && f.Size >= 16 && f.Addr >= mem.KernelTextGVA &&
+			f.End() <= mem.KernelTextGVA+s.textSize {
+			s.textFuncs = append(s.textFuncs, f)
+		}
+	}
+	if len(s.textFuncs) == 0 {
+		return nil, fmt.Errorf("sim: no base-kernel functions in symbol table")
+	}
+	return s, nil
+}
+
+// Kernel exposes the simulated guest (for white-box tests).
+func (s *Simulator) Kernel() *kernel.Kernel { return s.k }
+
+// Runtime exposes the runtime under test (for white-box tests).
+func (s *Simulator) Runtime() *core.Runtime { return s.rt }
+
+// Run executes cfg.Steps generated events and a final full sweep.
+func (s *Simulator) Run() (*Result, error) {
+	for i := 0; i < s.cfg.Steps; i++ {
+		if v := s.stepEvent(s.genEvent()); v != nil {
+			return s.finish(v)
+		}
+		if s.cfg.Logf != nil && s.step%10000 == 0 {
+			s.cfg.Logf("step %d: %d recoveries, %d switches, %d views live",
+				s.step, s.rt.Recoveries, s.rt.ViewSwitches, len(s.rt.LoadedIndices()))
+		}
+	}
+	return s.finish(s.finalSweep())
+}
+
+// maxScriptEvents bounds scripted runs (fuzzing inputs).
+const maxScriptEvents = 100000
+
+// RunScript executes events decoded from a byte script — the fuzz entry
+// point. The same appliers and checkers run as in Run.
+func (s *Simulator) RunScript(script []byte) (*Result, error) {
+	evs := DecodeScript(script)
+	if len(evs) > maxScriptEvents {
+		evs = evs[:maxScriptEvents]
+	}
+	for _, ev := range evs {
+		if v := s.stepEvent(ev); v != nil {
+			return s.finish(v)
+		}
+	}
+	return s.finish(s.finalSweep())
+}
+
+// Run is the convenience entry: boot, run, summarize. The returned error
+// (if any) is the *Violation.
+func Run(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// stepEvent applies one event and runs the per-step checks, returning a
+// violation or nil.
+func (s *Simulator) stepEvent(ev Event) *Violation {
+	s.step++
+	s.recordRing(ev)
+	s.res.Events[ev.Kind]++
+
+	s.inj.BeginEvent()
+	s.inj.Arm(true)
+	err := s.apply(ev)
+	s.inj.Arm(false)
+
+	var errByte byte
+	if err != nil {
+		// An event may fail only for a reason the simulation created:
+		// injected faults or deliberate cache pressure. Anything else is a
+		// runtime bug.
+		if s.inj.EventActivity() > 0 || errors.Is(err, mem.ErrCachePressure) {
+			s.res.Errors++
+			errByte = 1
+		} else {
+			return s.violation(ev, fmt.Sprintf("unexpected runtime error: %v", err))
+		}
+	}
+
+	actives := make([]int, s.cfg.CPUs)
+	for c := range actives {
+		actives[c] = s.rt.ActiveView(c)
+	}
+	s.dig.event(ev, errByte, actives, s.rt.Recoveries, s.rt.ViewSwitches, len(s.rt.LoadedIndices()))
+
+	if err := s.rt.CheckSwitchState(); err != nil {
+		return s.violation(ev, err.Error())
+	}
+	if s.step%s.cfg.LightEvery == 0 {
+		if err := s.checkCacheBalance(); err != nil {
+			return s.violation(ev, err.Error())
+		}
+		if err := s.checkEPT(false); err != nil {
+			return s.violation(ev, err.Error())
+		}
+	}
+	if s.step%s.cfg.CheckEvery == 0 {
+		if err := s.CheckAll(); err != nil {
+			return s.violation(ev, err.Error())
+		}
+		if s.cfg.Logf != nil {
+			s.cfg.Logf("step %d: full sweep clean", s.step)
+		}
+	}
+	return nil
+}
+
+// finalSweep runs the full checks one last time.
+func (s *Simulator) finalSweep() *Violation {
+	if err := s.CheckAll(); err != nil {
+		return &Violation{Step: s.step, Event: "final sweep", Desc: err.Error(), Trace: append([]string(nil), s.ring...)}
+	}
+	return nil
+}
+
+// ringSize is the number of trailing events kept for violation reports.
+const ringSize = 24
+
+func (s *Simulator) recordRing(ev Event) {
+	s.ring = append(s.ring, fmt.Sprintf("step %d: %s", s.step, ev))
+	if len(s.ring) > ringSize {
+		s.ring = s.ring[1:]
+	}
+}
+
+func (s *Simulator) violation(ev Event, desc string) *Violation {
+	return &Violation{
+		Step:  s.step,
+		Event: ev.String(),
+		Desc:  desc,
+		Trace: append([]string(nil), s.ring...),
+	}
+}
+
+func (s *Simulator) finish(v *Violation) (*Result, error) {
+	s.res.Steps = s.step
+	s.res.Digest = s.dig.sum()
+	s.res.FaultsInjected = s.inj.Injected
+	s.res.Corruptions = s.inj.Corrupted
+	s.res.Recoveries = s.rt.Recoveries
+	s.res.InstantRecoveries = s.rt.InstantRecoveries
+	s.res.ViewSwitches = s.rt.ViewSwitches
+	s.res.LiveViews = len(s.rt.LoadedIndices())
+	s.res.Cache = s.rt.CacheStats()
+	s.res.Violation = v
+	res := s.res
+	if v != nil {
+		return &res, v
+	}
+	return &res, nil
+}
+
+// sortedInts returns a sorted copy (tiny helper for deterministic walks).
+func sortedInts(in []int) []int {
+	out := append([]int(nil), in...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Violation is a failed invariant check: the simulated state diverged from
+// what the runtime's bookkeeping promises.
+type Violation struct {
+	// Step is the 1-based event index at which the check failed.
+	Step int
+	// Event is the event whose application preceded the failure.
+	Event string
+	// Desc is the failed check's report.
+	Desc string
+	// Trace holds the trailing events before the failure, oldest first.
+	Trace []string
+}
+
+func (v *Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariant violation at step %d (%s): %s", v.Step, v.Event, v.Desc)
+	if len(v.Trace) > 0 {
+		b.WriteString("\ntrailing events:")
+		for _, t := range v.Trace {
+			b.WriteString("\n  ")
+			b.WriteString(t)
+		}
+	}
+	return b.String()
+}
+
+// digest folds the event stream and the runtime's observable reactions
+// into one FNV-1a hash. Two runs of the same seed and configuration must
+// produce the same digest — the determinism contract a failing seed's
+// replay depends on.
+type digest struct {
+	h uint64
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func newDigest() *digest { return &digest{h: fnvOffset} }
+
+func (d *digest) byte(b byte) {
+	d.h ^= uint64(b)
+	d.h *= fnvPrime
+}
+
+func (d *digest) u32(v uint32) {
+	d.byte(byte(v))
+	d.byte(byte(v >> 8))
+	d.byte(byte(v >> 16))
+	d.byte(byte(v >> 24))
+}
+
+// event folds one applied event and the state fingerprint it produced.
+func (d *digest) event(ev Event, errByte byte, actives []int, recoveries, switches uint64, liveViews int) {
+	d.byte(byte(ev.Kind))
+	d.byte(ev.CPU)
+	d.u32(uint32(ev.A))
+	d.u32(uint32(ev.B))
+	d.byte(errByte)
+	for _, a := range actives {
+		d.u32(uint32(a))
+	}
+	d.u32(uint32(recoveries))
+	d.u32(uint32(switches))
+	d.byte(byte(liveViews))
+}
+
+func (d *digest) sum() uint64 { return d.h }
