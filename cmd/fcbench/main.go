@@ -10,10 +10,12 @@
 //	fcbench -fig6
 //	fcbench -fig7
 //	fcbench -ablations
+//	fcbench -baseline -out BENCH_baseline.json
 //	fcbench -all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,17 +39,39 @@ func run() error {
 		fig6      = flag.Bool("fig6", false, "normalized UnixBench sweep (Figure 6)")
 		fig7      = flag.Bool("fig7", false, "Apache I/O throughput sweep (Figure 7)")
 		ablations = flag.Bool("ablations", false, "design-choice ablations (Section III-B)")
+		baseline  = flag.Bool("baseline", false, "hot-path charged-cost baseline (JSON artifact)")
+		out       = flag.String("out", "BENCH_baseline.json", "output path for -baseline")
 		all       = flag.Bool("all", false, "everything")
 		syscalls  = flag.Int("syscalls", 400, "profiling workload length")
 		verbose   = flag.Bool("v", false, "print attack provenance logs (with -table2)")
 	)
 	flag.Parse()
 	if *all {
-		*table1, *table2, *fig6, *fig7, *ablations = true, true, true, true, true
+		*table1, *table2, *fig6, *fig7, *ablations, *baseline = true, true, true, true, true, true
 	}
-	if !*table1 && !*table2 && !*fig6 && !*fig7 && !*ablations {
+	if !*table1 && !*table2 && !*fig6 && !*fig7 && !*ablations && !*baseline {
 		flag.Usage()
 		return fmt.Errorf("pick at least one experiment")
+	}
+
+	if *baseline {
+		fmt.Println("=== Baseline: charged hot-path costs (switch / recovery / symbolize) ===")
+		b, err := eval.MeasureBaseline()
+		if err != nil {
+			return err
+		}
+		fmt.Print(b.Format())
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+		if !*table1 && !*table2 && !*fig6 && !*fig7 && !*ablations {
+			return nil
+		}
 	}
 
 	profileCfg := facechange.ProfileConfig{Syscalls: *syscalls}
@@ -112,6 +136,7 @@ func run() error {
 			func() (eval.AblationResult, error) { return eval.AblateSameViewElision(tab.Views["gzip"], gzip) },
 			func() (eval.AblationResult, error) { return eval.AblateEPTGranularity(tab.Views["top"], top) },
 			func() (eval.AblationResult, error) { return eval.AblateSwitchPoint(tab.Views["top"], top) },
+			func() (eval.AblationResult, error) { return eval.AblateSnapshotSwitch(tab.Views["gzip"], gzip) },
 		} {
 			res, err := f()
 			if err != nil {

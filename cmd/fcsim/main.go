@@ -32,6 +32,8 @@ func main() {
 		workers = flag.Int("workers", 2, "pool-profiling worker goroutines")
 		nopool  = flag.Bool("nopool", false, "disable concurrent pool-profiling events")
 		check   = flag.Int("check", 2000, "full invariant sweep cadence in steps")
+		legacy  = flag.Bool("legacy", false, "use the paper's per-entry EPT rewrite switch path instead of snapshot root swaps")
+		mix     = flag.String("mix", "default", "event mix: default, or churn (module/view hotplug heavy)")
 		verbose = flag.Bool("v", false, "log progress")
 	)
 	flag.Parse()
@@ -51,6 +53,9 @@ func main() {
 		MaxViews:   6,
 		CheckEvery: *check,
 		NoPool:     *nopool,
+
+		LegacySwitch: *legacy,
+		Mix:          *mix,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -62,8 +67,15 @@ func main() {
 	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "\n%v\n", runErr)
-		fmt.Fprintf(os.Stderr, "replay: go run ./cmd/fcsim -seed %d -steps %d -faults %s -rate %g -cpus %d\n",
-			*seed, *steps, kinds, *rate, *cpus)
+		extra := ""
+		if *legacy {
+			extra += " -legacy"
+		}
+		if *mix != "default" {
+			extra += " -mix " + *mix
+		}
+		fmt.Fprintf(os.Stderr, "replay: go run ./cmd/fcsim -seed %d -steps %d -faults %s -rate %g -cpus %d%s\n",
+			*seed, *steps, kinds, *rate, *cpus, extra)
 		os.Exit(1)
 	}
 }

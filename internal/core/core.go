@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"facechange/internal/hv"
 	"facechange/internal/kernel"
@@ -45,7 +46,14 @@ type Options struct {
 	WholeFunctionLoad bool
 	// PDGranularSwitch swaps base-kernel views at EPT page-directory
 	// granularity; disabled, every text page is remapped individually.
+	// Ignored under SnapshotSwitch, which rewrites no entries at all.
 	PDGranularSwitch bool
+	// SnapshotSwitch installs a precomputed per-view EPT root with a single
+	// pointer swap (the VMFUNC/EPTP-style fast path) instead of rewriting
+	// PD/PTE entries at every switch. Off by default: the paper's prototype
+	// rewrites entries, and the EPT-granularity ablation measures exactly
+	// that, so the legacy path stays the reference configuration.
+	SnapshotSwitch bool
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -57,6 +65,14 @@ func DefaultOptions() Options {
 		WholeFunctionLoad: true,
 		PDGranularSwitch:  true,
 	}
+}
+
+// FastOptions returns the paper's configuration with snapshot switching
+// enabled — O(1) view switches via precomputed per-view EPT roots.
+func FastOptions() Options {
+	o := DefaultOptions()
+	o.SnapshotSwitch = true
+	return o
 }
 
 // Setup wires the runtime to a machine.
@@ -78,6 +94,14 @@ type cpuViewState struct {
 
 // Runtime is the FACE-CHANGE hypervisor component.
 type Runtime struct {
+	// mu serializes the mutating entry points (traps, hotplug, enable/
+	// disable, symbolization): on a multi-vCPU host, exits from different
+	// vCPUs reach the runtime concurrently, and all of them touch shared
+	// state — view tables, the page cache's view-side maps, shared
+	// snapshot roots, the recovery log. Read-only inspection helpers are
+	// left unlocked and are only meaningful on a quiescent runtime.
+	mu sync.Mutex
+
 	m        *hv.Machine
 	syms     *kernel.SymbolTable
 	opts     Options
@@ -98,6 +122,19 @@ type Runtime struct {
 	// inj, when non-nil, injects faults into the runtime's guest-memory
 	// channels and EPT updates (the simulator's hook; nil in production).
 	inj mem.FaultInjector
+
+	// modCache holds the guest module list between VMI walks. A cached
+	// list is revalidated by a one-read count probe on every use; any walk
+	// that replaces it bumps modGen, invalidating symbolizations derived
+	// from the superseded list.
+	modCache   []vmiModule
+	modCacheOK bool
+	modGen     uint64
+
+	// symCache memoizes Symbolize results by address, bounded by
+	// symCacheMax (cleared wholesale when full or when modGen advances),
+	// so trap storms do not re-resolve the same frames per backtrace.
+	symCache map[uint32]string
 
 	cpus           []*cpuViewState
 	resumeTrapRefs int
@@ -131,6 +168,7 @@ func New(s Setup) (*Runtime, error) {
 		kernelAS: mem.NewAddressSpace(),
 		views:    []*LoadedView{nil},
 		byName:   make(map[string]int),
+		symCache: make(map[uint32]string),
 		cache:    mem.NewPageCache(s.Machine.Host),
 	}
 	r.ctxSwitchAddr = s.Symbols.MustAddr("context_switch")
@@ -150,6 +188,8 @@ func New(s Setup) (*Runtime, error) {
 // Enable arms the context-switch trap: from now on every guest context
 // switch is intercepted.
 func (r *Runtime) Enable() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.enabled {
 		return
 	}
@@ -160,6 +200,8 @@ func (r *Runtime) Enable() {
 // Disable stops interception and restores the full kernel view on every
 // vCPU without interrupting the guest (Section III-B4).
 func (r *Runtime) Disable() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if !r.enabled {
 		return
 	}
@@ -194,6 +236,8 @@ func (r *Runtime) Cache() *mem.PageCache { return r.cache }
 // channel: VMI reads, backtrace stack reads, pristine physical reads, the
 // prologue scan, EPT remaps and cache interning. Passing nil detaches.
 func (r *Runtime) SetFaultInjector(inj mem.FaultInjector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.inj = inj
 	r.cache.SetFaultInjector(inj)
 }
@@ -281,15 +325,37 @@ type vmiModule struct {
 	Size uint32
 }
 
-// readModules traverses the guest's module list via VMI (Section III-B1:
-// "we traverse the kernel's module list to identify the loading
-// addresses").
+// readModules returns the guest's module list. A list cached from an
+// earlier walk is served after a single-read count probe confirms the
+// guest's entry count still matches — module churn changes the count and
+// forces a fresh walk, and embedders that know about churn can force one
+// with InvalidateModuleCache. Only a mismatch (or an explicit
+// invalidation) pays the full VMI traversal of Section III-B1 ("we
+// traverse the kernel's module list to identify the loading addresses");
+// previously every module-space UD2 trap paid it.
 func (r *Runtime) readModules(cpu *hv.CPU) ([]vmiModule, error) {
 	acc := r.vmiAcc(cpu)
 	count, err := acc.ReadU32(kernel.VMIModCountAddr)
 	if err != nil {
+		r.invalidateModules()
 		return nil, fmt.Errorf("core: vmi module count: %w", err)
 	}
+	if r.modCacheOK && count == uint32(len(r.modCache)) {
+		r.m.Charge(r.m.Cost.VMIRead) // the probe is the only read paid
+		return r.modCache, nil
+	}
+	mods, err := r.walkModules(acc, count)
+	if err != nil {
+		r.invalidateModules()
+		return nil, err
+	}
+	r.modCache, r.modCacheOK = mods, true
+	r.bumpModGen()
+	return mods, nil
+}
+
+// walkModules performs the full VMI traversal of the guest module list.
+func (r *Runtime) walkModules(acc mem.Access, count uint32) ([]vmiModule, error) {
 	r.m.Charge(uint64(1+3*count) * r.m.Cost.VMIRead)
 	if count > 1024 {
 		return nil, fmt.Errorf("core: implausible module count %d", count)
@@ -325,29 +391,94 @@ func (r *Runtime) readModules(cpu *hv.CPU) ([]vmiModule, error) {
 	return mods, nil
 }
 
+// InvalidateModuleCache drops the cached guest module list and clears
+// module-derived symbolizations. Embedders call it when they know the
+// guest loaded, unloaded or hid a module; the runtime also detects churn
+// on its own whenever the guest's module count changes (the probe in
+// readModules), so the explicit call only matters for same-count list
+// rewrites between two reads.
+func (r *Runtime) InvalidateModuleCache() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.invalidateModules()
+}
+
+func (r *Runtime) invalidateModules() {
+	r.modCache, r.modCacheOK = nil, false
+	r.bumpModGen()
+}
+
+// ModuleCacheGen returns the module-list generation: it advances every
+// time the cached list is replaced or dropped.
+func (r *Runtime) ModuleCacheGen() uint64 { return r.modGen }
+
+// bumpModGen advances the module-list generation. Symbolizations derived
+// from the superseded list are stale, so the symbol cache goes with it.
+func (r *Runtime) bumpModGen() {
+	r.modGen++
+	clear(r.symCache)
+}
+
+// symCacheMax bounds the symbolization cache; at the cap the whole cache
+// is dropped (trap storms revolve around few addresses, so a fancy
+// eviction buys nothing over wholesale clearing).
+const symCacheMax = 4096
+
+func (r *Runtime) cacheSym(addr uint32, s string) {
+	if len(r.symCache) >= symCacheMax {
+		clear(r.symCache)
+	}
+	r.symCache[addr] = s
+}
+
 // Symbolize renders an address the way the paper's recovery logs do,
 // trusting only System.map and the guest-visible module list. Code in a
 // hidden module symbolizes as UNKNOWN — the Figure 5 signature.
 func (r *Runtime) Symbolize(cpu *hv.CPU, addr uint32) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.symbolize(cpu, addr)
+}
+
+// symbolize is the locked-context implementation. Results are memoized:
+// text symbolizations are immutable; module symbolizations are only
+// consulted after readModules revalidates the module list (a list change
+// bumps modGen, which clears the cache), so a cached module symbol is
+// never served across guest module churn.
+func (r *Runtime) symbolize(cpu *hv.CPU, addr uint32) string {
 	if addr >= mem.KernelTextGVA && addr < mem.KernelTextGVA+r.textSize {
-		if f, ok := r.syms.ByAddr(addr); ok && f.Module == "" {
-			return fmt.Sprintf("%s+0x%x", f.Name, addr-f.Addr)
+		if s, ok := r.symCache[addr]; ok {
+			return s
 		}
-		return "UNKNOWN"
+		s := "UNKNOWN"
+		if f, ok := r.syms.ByAddr(addr); ok && f.Module == "" {
+			s = fmt.Sprintf("%s+0x%x", f.Name, addr-f.Addr)
+		}
+		r.cacheSym(addr, s)
+		return s
 	}
 	if mem.IsModuleGVA(addr) {
 		mods, err := r.readModules(cpu)
-		if err == nil {
-			for _, m := range mods {
-				if addr >= m.Base && addr < m.Base+m.Size {
-					if f, ok := r.syms.ByAddr(addr); ok && f.Module == m.Name {
-						return fmt.Sprintf("%s+0x%x", f.Name, addr-f.Addr)
-					}
-					return fmt.Sprintf("%s+0x%x", m.Name, addr-m.Base)
+		if err != nil {
+			// A transient VMI failure is not a resolution; never cache it.
+			return "UNKNOWN"
+		}
+		if s, ok := r.symCache[addr]; ok {
+			return s
+		}
+		s := "UNKNOWN"
+		for _, m := range mods {
+			if addr >= m.Base && addr < m.Base+m.Size {
+				if f, ok := r.syms.ByAddr(addr); ok && f.Module == m.Name {
+					s = fmt.Sprintf("%s+0x%x", f.Name, addr-f.Addr)
+				} else {
+					s = fmt.Sprintf("%s+0x%x", m.Name, addr-m.Base)
 				}
+				break
 			}
 		}
-		return "UNKNOWN"
+		r.cacheSym(addr, s)
+		return s
 	}
 	return "UNKNOWN"
 }

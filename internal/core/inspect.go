@@ -39,6 +39,9 @@ func (r *Runtime) ResumeTrapRefs() int { return r.resumeTrapRefs }
 // TextSize returns the base kernel text size the runtime shadows.
 func (r *Runtime) TextSize() uint32 { return r.textSize }
 
+// Opts returns the runtime's option set (fixed at construction).
+func (r *Runtime) Opts() Options { return r.opts }
+
 // SharedPageSet returns a copy of the view's cache-shared page set (GPA
 // pages whose shadow HPA is an immutable cache page).
 func (v *LoadedView) SharedPageSet() map[uint32]bool {
@@ -84,6 +87,26 @@ func (r *Runtime) CheckSwitchState() error {
 func (r *Runtime) CheckVCPUMappings(cpuID int, samples []uint32) error {
 	cpu := r.m.CPUs[cpuID]
 	v := r.ViewByIndex(r.cpus[cpuID].active)
+	if r.opts.SnapshotSwitch {
+		// Under snapshot switching, translations agreeing is not enough:
+		// the vCPU must reference exactly its active view's shared root
+		// (nil for the full view). A matching translation through the wrong
+		// root would still break the invalidation protocol.
+		var want *mem.Root
+		if v != nil {
+			if v.snap == nil {
+				return fmt.Errorf("core: view %q loaded without a snapshot in snapshot-switch mode", v.Name)
+			}
+			want = v.snap.root
+			if want == nil {
+				return fmt.Errorf("core: cpu%d active view %q has an invalidated snapshot", cpuID, v.Name)
+			}
+		}
+		if got := cpu.EPT.Root(); got != want {
+			return fmt.Errorf("core: cpu%d EPT root %p does not match active view %d's snapshot root %p",
+				cpuID, got, r.cpus[cpuID].active, want)
+		}
+	}
 	for _, gpa := range samples {
 		page := mem.PageAlignDown(gpa)
 		want := page // identity

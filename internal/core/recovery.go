@@ -59,6 +59,8 @@ func (r *Runtime) Log() []Event { return r.log }
 
 // ResetLog clears the recovery log and counters.
 func (r *Runtime) ResetLog() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.log = nil
 	r.Recoveries, r.InstantRecoveries, r.InterruptRecoveries = 0, 0, 0
 }
@@ -66,6 +68,8 @@ func (r *Runtime) ResetLog() {
 // OnInvalidOpcode implements hv.ExitHandler: Algorithm 1's
 // HANDLE_INVALID_OPCODE — step 4/5 of Figure 2.
 func (r *Runtime) OnInvalidOpcode(m *hv.Machine, cpu *hv.CPU) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	st := r.cpus[cpu.ID]
 	v := r.ViewByIndex(st.active)
 	if v == nil {
@@ -126,7 +130,7 @@ func (r *Runtime) backtrace(cpu *hv.CPU) ([]Frame, []uint32) {
 		if prevRIP < mem.KernelBase { // IS_VALID failed
 			break
 		}
-		frames = append(frames, Frame{Addr: prevRIP, Sym: r.Symbolize(cpu, prevRIP)})
+		frames = append(frames, Frame{Addr: prevRIP, Sym: r.symbolize(cpu, prevRIP)})
 		// Inspect the return site's bytes as mapped *through the active
 		// view*: "0B 0F" cannot trap and must be recovered instantly.
 		var b [2]byte
@@ -197,7 +201,7 @@ func (r *Runtime) recoverAt(cpu *hv.CPU, v *LoadedView, addr uint32, pid int, co
 		Addr:      addr,
 		FnStart:   start,
 		FnEnd:     end,
-		Fn:        r.Symbolize(cpu, start),
+		Fn:        r.symbolize(cpu, start),
 		Interrupt: inIRQ,
 		Instant:   instant,
 		Backtrace: frames,

@@ -11,6 +11,8 @@ import (
 // HANDLE_KERNEL_VIEW_TRAP. It fires at context_switch (step 2 of Figure 2)
 // and at resume_userspace.
 func (r *Runtime) OnAddrTrap(m *hv.Machine, cpu *hv.CPU) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	st := r.cpus[cpu.ID]
 	switch cpu.EIP {
 	case r.ctxSwitchAddr:
@@ -91,6 +93,22 @@ func (r *Runtime) applySwitch(cpu *hv.CPU, idx int) {
 	}
 	old := r.ViewByIndex(st.active)
 	next := r.ViewByIndex(idx)
+
+	if r.opts.SnapshotSwitch {
+		// Fast path: the whole switch — base kernel text and every module
+		// page — is one EPTP-style root swap onto the view's precomputed
+		// shared root. nil reverts the vCPU to its private identity root
+		// (the full view).
+		if next != nil {
+			cpu.EPT.SetRoot(next.snap.root)
+		} else {
+			cpu.EPT.SetRoot(nil)
+		}
+		r.m.Charge(r.m.Cost.EPTPSwitch)
+		st.active = idx
+		r.ViewSwitches++
+		return
+	}
 
 	var pdOps, pteOps uint64
 

@@ -13,17 +13,24 @@ import (
 // switchRig is a runtime-phase machine with two single-function views
 // loaded, plus direct control over the VMI rq->curr structures so tests
 // can stage arbitrary context-switch sequences without running guest code.
+// Benchmarks share it (testing.TB); mods names guest modules to load
+// before the views so every view also shadows scattered module pages.
 type switchRig struct {
 	k   *kernel.Kernel
 	rt  *Runtime
 	idx map[string]int // app name → view index
 }
 
-func newSwitchRig(t *testing.T, ncpu int, opts Options) *switchRig {
+func newSwitchRig(t testing.TB, ncpu int, opts Options, mods ...string) *switchRig {
 	t.Helper()
 	k, err := kernel.New(kernel.Config{Clock: kernel.ClockKVM, NCPU: ncpu})
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, m := range mods {
+		if _, err := k.LoadModule(m); err != nil {
+			t.Fatalf("LoadModule %s: %v", m, err)
+		}
 	}
 	rt, err := New(Setup{Machine: k.M, Symbols: k.Syms, TextSize: k.Img.TextSize(), Opts: opts})
 	if err != nil {
@@ -48,7 +55,7 @@ func newSwitchRig(t *testing.T, ncpu int, opts Options) *switchRig {
 
 // setRQCurr fabricates the scheduler-pick VMI state: a task struct in a
 // high slot with the given pid/comm, pointed to by cpu's rq->curr.
-func (rig *switchRig) setRQCurr(t *testing.T, cpuID, pid int, comm string) {
+func (rig *switchRig) setRQCurr(t testing.TB, cpuID, pid int, comm string) {
 	t.Helper()
 	slot := 40 + cpuID
 	taskGVA := kernel.VMITaskBase + uint32(slot)*kernel.VMITaskStride
@@ -69,7 +76,7 @@ func (rig *switchRig) setRQCurr(t *testing.T, cpuID, pid int, comm string) {
 
 // trap drives one OnAddrTrap exit on a vCPU: a context-switch trap with
 // the next task's comm, or a resume-userspace trap.
-func (rig *switchRig) trap(t *testing.T, cpuID int, at, comm string) {
+func (rig *switchRig) trap(t testing.TB, cpuID int, at, comm string) {
 	t.Helper()
 	cpu := rig.k.M.CPUs[cpuID]
 	switch at {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"facechange/internal/isa"
 	"facechange/internal/kview"
@@ -39,6 +40,59 @@ type LoadedView struct {
 	// per space — the administrator's reference for ameliorating the
 	// profiling test suite (Section III-B3).
 	recovered *kview.View
+
+	// snap is the view's precomputed EPT snapshot (nil unless
+	// Options.SnapshotSwitch built one at load time).
+	snap *viewSnapshot
+}
+
+// viewSnapshot is a view's precomputed, shared EPT root: a fully
+// materialized paging structure covering the kernel text and every module
+// page of the view, built once at LoadView and installed on vCPUs with a
+// single root swap. It is immutable in shape; the only mutations are COW
+// retargets (kernel code recovery privatizing a cache-shared page), which
+// patch the root under mu and advance gen so all vCPUs on the view see the
+// recovered page immediately and observers can detect the change.
+type viewSnapshot struct {
+	mu   sync.Mutex
+	root *mem.Root
+	gen  uint64
+}
+
+// patch retargets one page after a COW privatization. Text pages need no
+// root write — the root references the view's PT objects, which viewWrite
+// already retargeted in place — but the generation advances for every
+// mutation so invalidation protocols key off gen alone.
+func (s *viewSnapshot) patch(gpaPage, hpa uint32, isText bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !isText {
+		s.root.SetPTE(gpaPage, hpa)
+	}
+	s.gen++
+}
+
+// invalidate detaches the root so a stale reference fails loudly; the
+// caller must have already reverted every vCPU off the view.
+func (s *viewSnapshot) invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.root = nil
+	s.gen++
+}
+
+// HasSnapshot reports whether the view carries a precomputed EPT snapshot.
+func (v *LoadedView) HasSnapshot() bool { return v.snap != nil && v.snap.root != nil }
+
+// SnapshotGen returns the snapshot's mutation generation (0 when the view
+// has no snapshot).
+func (v *LoadedView) SnapshotGen() uint64 {
+	if v.snap == nil {
+		return 0
+	}
+	v.snap.mu.Lock()
+	defer v.snap.mu.Unlock()
+	return v.snap.gen
 }
 
 // noteRecovered records a recovered range (absolute for the base kernel,
@@ -153,6 +207,8 @@ func (s *viewStage) write(name string, gva uint32, data []byte) error {
 // cache, so identical pages — the UD2 filler and identically loaded code
 // pages — are shared across views instead of copied per view.
 func (r *Runtime) LoadView(cfg *kview.View) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	v := &LoadedView{
 		Name:      cfg.App,
 		Cfg:       cfg,
@@ -237,12 +293,32 @@ func (r *Runtime) LoadView(cfg *kview.View) (int, error) {
 		}
 		v.pts[pdBase] = pt
 	}
+	if r.opts.SnapshotSwitch {
+		v.snap = buildSnapshot(v)
+	}
 	idx := len(r.views)
 	r.views = append(r.views, v)
 	if cfg.App != "" {
 		r.byName[cfg.App] = idx
 	}
 	return idx, nil
+}
+
+// buildSnapshot materializes a view's shared EPT root. The text PD slots
+// reference the view's own PT objects — the same objects viewWrite
+// retargets in place on COW — so text recoveries propagate to every vCPU
+// on the view with no snapshot write at all. Module pages land in
+// root-private PTs (they share PD slots with kernel data, which stays
+// identity mapped).
+func buildSnapshot(v *LoadedView) *viewSnapshot {
+	root := mem.NewRoot()
+	for pdBase, pt := range v.pts {
+		root.SetPD(pdBase, pt)
+	}
+	for gpa, hpa := range v.modPages {
+		root.SetPTE(gpa, hpa)
+	}
+	return &viewSnapshot{root: root}
 }
 
 // moduleGPA converts a module-area GVA to its GPA.
@@ -393,7 +469,13 @@ func (r *Runtime) viewWrite(v *LoadedView, gva uint32, data []byte) error {
 			} else {
 				v.modPages[gpaPage] = private
 			}
-			r.remapLive(v, gpaPage, private, isText)
+			if v.snap != nil {
+				// Snapshot mode: patching the shared root retargets every
+				// vCPU on the view at once; no per-vCPU EPT holds copies.
+				v.snap.patch(gpaPage, private, isText)
+			} else {
+				r.remapLive(v, gpaPage, private, isText)
+			}
 			hpa = private
 		}
 		off := gva & (mem.PageSize - 1)
@@ -484,6 +566,8 @@ func (r *Runtime) ViewByIndex(idx int) *LoadedView {
 
 // AssignView binds an application name (guest comm) to a loaded view.
 func (r *Runtime) AssignView(app string, idx int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if idx != FullView && (idx <= 0 || idx >= len(r.views) || r.views[idx] == nil) {
 		return fmt.Errorf("core: no view %d", idx)
 	}
@@ -520,6 +604,8 @@ func (r *Runtime) AmelioratedView(idx int) (*kview.View, error) {
 // Cache-shared pages are released (freed only when no other view maps
 // them); private copy-on-write pages are freed outright.
 func (r *Runtime) UnloadView(idx int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	v := r.ViewByIndex(idx)
 	if v == nil {
 		return fmt.Errorf("core: no view %d", idx)
@@ -538,6 +624,12 @@ func (r *Runtime) UnloadView(idx int) error {
 		}
 	}
 	r.releasePages(v)
+	if v.snap != nil {
+		// Every vCPU was reverted above, so no EPT references the root;
+		// detaching it makes any stale use fail loudly instead of
+		// translating through freed shadow pages.
+		v.snap.invalidate()
+	}
 	for name, i := range r.byName {
 		if i == idx {
 			delete(r.byName, name)

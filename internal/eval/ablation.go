@@ -163,6 +163,47 @@ func AblateInstantRecovery(seedView *kview.View) (AblationResult, error) {
 		Off: off, OffFault: offF, Unit: "silent misparses"}, nil
 }
 
+// AblateSnapshotSwitch compares the precomputed-root switch path
+// (one EPTP-style pointer write per switch) against the paper's per-entry
+// EPT rewrite over the same enforced workload. The metric is the charged
+// EPT cycles per view switch, derived from the hardware-model counters —
+// the workload, recoveries and view contents are identical in both runs,
+// only the installation mechanism differs.
+func AblateSnapshotSwitch(view *kview.View, app apps.App) (AblationResult, error) {
+	run := func(snapshot bool) (float64, bool, error) {
+		opts := core.DefaultOptions()
+		opts.SnapshotSwitch = snapshot
+		vm, faulted, err := enforcedRun(view, app, opts, 300)
+		if err != nil {
+			return 0, false, err
+		}
+		var pd, pte, root uint64
+		for _, cpu := range vm.Kernel.M.CPUs {
+			p, t := cpu.EPT.Counters()
+			pd += p
+			pte += t
+			root += cpu.EPT.RootSwaps()
+		}
+		cost := vm.Kernel.M.Cost
+		charged := pd*cost.EPTPDSwap + pte*cost.EPTPTESwap + root*cost.EPTPSwitch
+		switches := vm.Runtime.ViewSwitches
+		if switches == 0 {
+			return 0, faulted, fmt.Errorf("eval: workload performed no view switches")
+		}
+		return float64(charged) / float64(switches), faulted, nil
+	}
+	on, onF, err := run(true)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	off, offF, err := run(false)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{Name: "snapshot switch", On: on, OnFault: onF,
+		Off: off, OffFault: offF, Unit: "EPT cycles/switch"}, nil
+}
+
 // AblateSameViewElision compares the same-view elision: the metric is EPT
 // view switches for two processes sharing one view.
 func AblateSameViewElision(view *kview.View, app apps.App) (AblationResult, error) {

@@ -16,6 +16,11 @@ type CostConfig struct {
 	EPTPDSwap uint64
 	// EPTPTESwap is the cost of replacing one EPT page-table entry.
 	EPTPTESwap uint64
+	// EPTPSwitch is the cost of pointing a vCPU at a precomputed EPT
+	// paging structure (the VMFUNC/EPTP-switch fast path): one root-pointer
+	// write, no per-entry rewrites — cheaper than even a single PD swap,
+	// which must patch and invalidate the live structure.
+	EPTPSwitch uint64
 	// RecoveryBase is the fixed cost of one kernel-code recovery (prologue
 	// scan, logging, backtrace).
 	RecoveryBase uint64
@@ -38,6 +43,7 @@ func DefaultCosts() CostConfig {
 		VMIRead:         320,
 		EPTPDSwap:       90,
 		EPTPTESwap:      60,
+		EPTPSwitch:      40,
 		RecoveryBase:    6000,
 		RecoveryPerByte: 2,
 		Int:             120,

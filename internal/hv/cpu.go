@@ -33,7 +33,11 @@ type CPU struct {
 	Mode Mode
 
 	// EPT is this vCPU's extended page table ("each vCPU has its own EPT
-	// maintained by the hypervisor", Section V-C).
+	// maintained by the hypervisor", Section V-C). Besides the per-entry
+	// rewrite interface it carries the vCPU's EPTP slot: a precomputed
+	// shared root installed with EPT.SetRoot shadows the private structure
+	// entirely, which is how snapshot view switching retargets a vCPU with
+	// one pointer write.
 	EPT *mem.EPT
 
 	// as is the current guest address space (switched with the current

@@ -56,9 +56,9 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
-// weights is the generation mix: mostly context switches and trap storms,
-// with a steady trickle of hotplug and environment churn.
-var weights = [numKinds]int{
+// defaultWeights is the standard generation mix: mostly context switches
+// and trap storms, with a steady trickle of hotplug and environment churn.
+var defaultWeights = [numKinds]int{
 	EvCtxSwitch:     34,
 	EvResume:        14,
 	EvUD2:           22,
@@ -71,13 +71,33 @@ var weights = [numKinds]int{
 	EvToggle:        1,
 }
 
-var weightTotal = func() int {
-	t := 0
-	for _, w := range weights {
-		t += w
+// churnWeights skews the stream toward module load/hide and view hotplug:
+// the mix that exercises snapshot rebuild-on-load, module-list-cache
+// invalidation and root detachment under constant churn.
+var churnWeights = [numKinds]int{
+	EvCtxSwitch:     20,
+	EvResume:        8,
+	EvUD2:           14,
+	EvLoadView:      18,
+	EvUnloadView:    14,
+	EvModLoad:       10,
+	EvModHide:       8,
+	EvCachePressure: 4,
+	EvPoolProfile:   2,
+	EvToggle:        2,
+}
+
+// mixWeights resolves a Config.Mix name.
+func mixWeights(mix string) ([numKinds]int, error) {
+	switch mix {
+	case "default":
+		return defaultWeights, nil
+	case "churn":
+		return churnWeights, nil
+	default:
+		return [numKinds]int{}, fmt.Errorf("sim: unknown event mix %q (want default or churn)", mix)
 	}
-	return t
-}()
+}
 
 // Event is one simulation step. A and B are free selector operands whose
 // meaning depends on Kind; the same representation is produced by the
@@ -114,9 +134,9 @@ func DecodeScript(data []byte) []Event {
 
 // genEvent draws the next event from the seeded stream.
 func (s *Simulator) genEvent() Event {
-	n := s.rng.Intn(weightTotal)
+	n := s.rng.Intn(s.weightTotal)
 	kind := Kind(0)
-	for i, w := range weights {
+	for i, w := range s.weights {
 		if n < w {
 			kind = Kind(i)
 			break
@@ -340,8 +360,13 @@ func (s *Simulator) applyModLoad() error {
 	}
 	for _, spec := range kernel.StandardModules() {
 		if !present[spec.Name] {
-			_, err := s.k.LoadModule(spec.Name)
-			return err
+			if _, err := s.k.LoadModule(spec.Name); err != nil {
+				return err
+			}
+			// The administrator knows about the load; the runtime's count
+			// probe would also catch it on the next module-list read.
+			s.rt.InvalidateModuleCache()
+			return nil
 		}
 	}
 	return nil // all loaded
@@ -359,7 +384,14 @@ func (s *Simulator) applyModHide(ev Event) error {
 	if len(visible) == 0 {
 		return nil
 	}
-	return s.k.HideModule(visible[int(ev.A)%len(visible)])
+	if err := s.k.HideModule(visible[int(ev.A)%len(visible)]); err != nil {
+		return err
+	}
+	// A rootkit hiding itself does not notify anyone — rely on the count
+	// probe for detection in real flows; the explicit invalidation here
+	// keeps scripted traces deterministic regardless of prior cache state.
+	s.rt.InvalidateModuleCache()
+	return nil
 }
 
 // applyCachePressure toggles a tight cache limit near current occupancy,

@@ -82,6 +82,16 @@ func (s *Simulator) checkCacheBalance() error {
 // sampled form checks a few random text pages plus every module page of
 // every loaded view; the full form checks every text page too.
 func (s *Simulator) checkEPT(full bool) error {
+	if s.rt.Opts().SnapshotSwitch {
+		// Every loaded view must carry a live precomputed root; the
+		// per-vCPU root-identity check inside CheckVCPUMappings only sees
+		// the views that are active somewhere.
+		for _, idx := range s.rt.LoadedIndices() {
+			if v := s.rt.ViewByIndex(idx); !v.HasSnapshot() {
+				return fmt.Errorf("sim: view %q (index %d) has no live EPT snapshot in snapshot-switch mode", v.Name, idx)
+			}
+		}
+	}
 	var samples []uint32
 	if full {
 		for gpa := mem.KernelTextGPA; gpa < mem.KernelTextGPA+s.textSize; gpa += mem.PageSize {

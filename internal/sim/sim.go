@@ -63,6 +63,14 @@ type Config struct {
 	PoolEvery int
 	// NoPool disables pool-profiling events entirely.
 	NoPool bool
+	// LegacySwitch drives the runtime with the paper's per-entry EPT
+	// rewrite switch path instead of the default precomputed-snapshot
+	// root swap (core.Options.SnapshotSwitch).
+	LegacySwitch bool
+	// Mix selects the event mix: "default", or "churn" for a module
+	// load/hide and view hotplug heavy stream that stresses snapshot and
+	// module-list-cache invalidation.
+	Mix string
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -97,6 +105,9 @@ func (c *Config) defaults() {
 	}
 	if c.PoolEvery <= 0 {
 		c.PoolEvery = 2000
+	}
+	if c.Mix == "" {
+		c.Mix = "default"
 	}
 }
 
@@ -172,6 +183,9 @@ type Simulator struct {
 	// views draw from.
 	textFuncs []*kernel.Func
 
+	weights     [numKinds]int
+	weightTotal int
+
 	profiled []*kview.View
 	synCount int
 	lastPool int
@@ -184,10 +198,15 @@ type Simulator struct {
 }
 
 // New boots a simulation machine: a KVM-environment kernel with one
-// standard module loaded, a runtime with the paper's default options, and
-// an armed-on-demand fault injector.
+// standard module loaded, a runtime with snapshot switching on top of the
+// paper's default options (core.FastOptions; cfg.LegacySwitch reverts to
+// the paper's rewrite path), and an armed-on-demand fault injector.
 func New(cfg Config) (*Simulator, error) {
 	cfg.defaults()
+	weights, err := mixWeights(cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
 	k, err := kernel.New(kernel.Config{Clock: kernel.ClockKVM, NCPU: cfg.CPUs})
 	if err != nil {
 		return nil, fmt.Errorf("sim: boot kernel: %w", err)
@@ -195,11 +214,15 @@ func New(cfg Config) (*Simulator, error) {
 	if _, err := k.LoadModule("af_packet"); err != nil {
 		return nil, fmt.Errorf("sim: boot module: %w", err)
 	}
+	opts := core.FastOptions()
+	if cfg.LegacySwitch {
+		opts = core.DefaultOptions()
+	}
 	rt, err := core.New(core.Setup{
 		Machine:  k.M,
 		Symbols:  k.Syms,
 		TextSize: k.Img.TextSize(),
-		Opts:     core.DefaultOptions(),
+		Opts:     opts,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: attach runtime: %w", err)
@@ -218,7 +241,11 @@ func New(cfg Config) (*Simulator, error) {
 		ctxAddr:    k.Syms.MustAddr("context_switch"),
 		resumeAddr: k.Syms.MustAddr("resume_userspace"),
 		textSize:   k.Img.TextSize(),
+		weights:    weights,
 		dig:        newDigest(),
+	}
+	for _, w := range weights {
+		s.weightTotal += w
 	}
 	for _, f := range k.Syms.Funcs() {
 		if f.Module == "" && f.Size >= 16 && f.Addr >= mem.KernelTextGVA &&

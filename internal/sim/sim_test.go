@@ -236,11 +236,11 @@ func TestScriptUnloadActive(t *testing.T) {
 	script := enc(
 		Event{Kind: EvLoadView, A: 1, B: 5},
 		Event{Kind: EvCtxSwitch, CPU: 0, A: 0},
-		Event{Kind: EvResume, CPU: 0},     // cpu0 now on the view
-		Event{Kind: EvCtxSwitch, CPU: 1},  // cpu1 defers a switch
-		Event{Kind: EvUnloadView, B: 0},   // unload the active view
-		Event{Kind: EvResume, CPU: 1},     // deferred switch resolves
-		Event{Kind: EvCtxSwitch, CPU: 0},  // churn after the unload
+		Event{Kind: EvResume, CPU: 0},    // cpu0 now on the view
+		Event{Kind: EvCtxSwitch, CPU: 1}, // cpu1 defers a switch
+		Event{Kind: EvUnloadView, B: 0},  // unload the active view
+		Event{Kind: EvResume, CPU: 1},    // deferred switch resolves
+		Event{Kind: EvCtxSwitch, CPU: 0}, // churn after the unload
 	)
 	res, err := s.RunScript(script)
 	if err != nil {
@@ -352,4 +352,73 @@ func FuzzSimTrace(f *testing.F) {
 			t.Fatalf("invariant violation on script %v: %v", DecodeScript(script), err)
 		}
 	})
+}
+
+// TestChurnMixSnapshot is the snapshot-invalidation soak: the churn event
+// mix (module/view hotplug heavy) under full fault injection, with the
+// default snapshot switch path. Every load builds a precomputed root,
+// every unload invalidates one, and module churn invalidates the VMI
+// module cache — a stale root or cache surfaces as an invariant violation.
+func TestChurnMixSnapshot(t *testing.T) {
+	res, err := Run(Config{
+		Seed:   21,
+		Steps:  1500,
+		CPUs:   4,
+		Faults: FaultAll,
+		Mix:    "churn",
+		NoPool: true,
+	})
+	if err != nil {
+		t.Fatalf("churn simulation failed: %v", err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation: %v", res.Violation)
+	}
+	if res.Loads == 0 || res.Unloads == 0 {
+		t.Errorf("churn mix drove no hotplug: %d loads, %d unloads", res.Loads, res.Unloads)
+	}
+}
+
+// TestLegacySwitchMode: the paper's per-entry EPT rewrite path stays a
+// first-class configuration — a bounded run with the snapshot path
+// disabled must hold every invariant.
+func TestLegacySwitchMode(t *testing.T) {
+	res, err := Run(Config{
+		Seed:         8,
+		Steps:        1000,
+		Faults:       FaultAll,
+		LegacySwitch: true,
+		NoPool:       true,
+	})
+	if err != nil {
+		t.Fatalf("legacy-mode simulation failed: %v", err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("violation: %v", res.Violation)
+	}
+	if res.ViewSwitches == 0 {
+		t.Error("no view switches in 1000 steps")
+	}
+}
+
+// TestMixDeterminism: the churn mix is part of the deterministic surface —
+// same seed, same mix, same digest.
+func TestMixDeterminism(t *testing.T) {
+	cfg := Config{Seed: 77, Steps: 500, Faults: FaultAll, Mix: "churn", NoPool: true}
+	a, errA := Run(cfg)
+	b, errB := Run(cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("runs failed: %v / %v", errA, errB)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("digest mismatch: %016x != %016x", a.Digest, b.Digest)
+	}
+}
+
+// TestUnknownMixRejected: a typo'd mix name must fail loudly at
+// construction, not silently fall back to the default weights.
+func TestUnknownMixRejected(t *testing.T) {
+	if _, err := New(Config{Seed: 1, Mix: "bogus"}); err == nil {
+		t.Fatal("New accepted unknown event mix")
+	}
 }
