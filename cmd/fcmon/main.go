@@ -1,0 +1,244 @@
+// Command fcmon runs the FACE-CHANGE telemetry and detection pipeline
+// over a live workload and exposes it for inspection: a Prometheus-style
+// text exposition on /metrics, the recent event tail as JSON lines on
+// /events, an optional JSONL event stream to a file, and the detection
+// engine's verdicts on stdout.
+//
+// Two workload sources:
+//
+//   - simulator mode (default): a deterministic fcsim trace — context
+//     switches, UD2 storms, view hotplug — streams through the pipeline;
+//     the churn mix loads hidden modules and exercises the unknown-origin
+//     detection path.
+//   - attack mode (-attack): one Table II catalog attack (or "all") is
+//     replayed — the victim's clean run seeds the baseline, then the
+//     infected run streams through the engine.
+//
+//	fcmon -steps 20000 -mix churn -listen :9130
+//	fcmon -attack KBeast -syscalls 400
+//	fcmon -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"facechange"
+	"facechange/internal/detect"
+	"facechange/internal/eval"
+	"facechange/internal/malware"
+	"facechange/internal/sim"
+	"facechange/internal/telemetry"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "", "serve /metrics and /events on this address (empty: no server)")
+		hold   = flag.Bool("hold", false, "keep serving after the run completes instead of exiting")
+		jsonl  = flag.String("jsonl", "", "stream every event as a JSON line to this file (\"-\": stdout)")
+		tailN  = flag.Int("tail", 10, "verdicts printed at exit")
+
+		// Simulator mode.
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		steps  = flag.Int("steps", 20000, "simulation events")
+		faults = flag.String("faults", "none", "fault channels: all, none, or csv of vmi,stack,phys,scan,ept,cache")
+		rate   = flag.Float64("rate", 0.01, "per-operation fault probability")
+		cpus   = flag.Int("cpus", 2, "number of vCPUs (max 8)")
+		mix    = flag.String("mix", "churn", "event mix: default, or churn (hidden-module heavy)")
+
+		// Attack mode.
+		attack   = flag.String("attack", "", "replay a catalog attack by name, or \"all\"")
+		syscalls = flag.Int("syscalls", 400, "profiling depth for attack-mode view construction")
+		list     = flag.Bool("list", false, "list the attack catalog and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range malware.Catalog() {
+			fmt.Printf("%-14s victim=%-8s %s — %s\n", a.Name, a.Victim, a.Infection, a.Payload)
+		}
+		return
+	}
+
+	var sinks []telemetry.Sink
+	var jw *telemetry.JSONLWriter
+	if *jsonl != "" {
+		out := os.Stdout
+		if *jsonl != "-" {
+			f, err := os.Create(*jsonl)
+			if err != nil {
+				log.Fatalf("fcmon: %v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		jw = telemetry.NewJSONLWriter(out)
+		sinks = append(sinks, jw)
+	}
+
+	var err error
+	if *attack != "" {
+		err = runAttack(*attack, *syscalls, *listen, *hold, *tailN, sinks)
+	} else {
+		err = runSim(sim.Config{
+			Seed:      *seed,
+			Steps:     *steps,
+			CPUs:      *cpus,
+			FaultRate: *rate,
+			Mix:       *mix,
+			Sinks:     sinks,
+		}, *faults, *listen, *hold, *tailN)
+	}
+	if jw != nil {
+		if ferr := jw.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runSim streams a simulator trace through the pipeline, serving the
+// endpoints while the trace runs.
+func runSim(cfg sim.Config, faults, listen string, hold bool, tailN int) error {
+	kinds, err := sim.ParseFaults(faults)
+	if err != nil {
+		return err
+	}
+	cfg.Faults = kinds
+	s, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+	hub, agg, eng := s.Pipeline()
+	if err := serve(listen, hub, agg, eng); err != nil {
+		return err
+	}
+
+	res, runErr := s.Run()
+	if res != nil {
+		fmt.Print(res.Summary())
+		printVerdicts(eng, tailN)
+		fmt.Printf("fcmon: %d suspect verdicts (%d unknown-origin), %d events, %d drops\n",
+			res.Telemetry.SuspectVerdicts, res.Telemetry.UnknownVerdicts,
+			res.Telemetry.Consumed, res.Telemetry.Drops)
+	}
+	if runErr != nil {
+		return runErr
+	}
+	return wait(hold)
+}
+
+// runAttack replays one catalog attack (or all of them) through the
+// streaming detection pipeline.
+func runAttack(name string, syscalls int, listen string, hold bool, tailN int, sinks []telemetry.Sink) error {
+	fmt.Fprintf(os.Stderr, "fcmon: profiling %d application views...\n", syscalls)
+	tab, err := eval.RunTable1(facechange.ProfileConfig{Syscalls: syscalls})
+	if err != nil {
+		return fmt.Errorf("fcmon: profile: %w", err)
+	}
+
+	if name == "all" {
+		results, err := eval.RunDetection(tab.Views, eval.Table2Config{})
+		if err != nil {
+			return err
+		}
+		flagged := 0
+		for _, r := range results {
+			status := "clean"
+			if r.Flagged {
+				status = "FLAGGED"
+				flagged++
+			}
+			fmt.Printf("%-14s %-7s unknown=%-5v suspicious=%-3d recoveries=%d\n",
+				r.Attack.Name, status, r.UnknownOrigin,
+				r.Stats.ByClass[detect.ClassSuspicious], r.Stats.Recoveries)
+		}
+		fmt.Printf("fcmon: %d/%d attacks flagged\n", flagged, len(results))
+		return nil
+	}
+
+	a, ok := malware.ByName(name)
+	if !ok {
+		return fmt.Errorf("fcmon: unknown attack %q (see -list)", name)
+	}
+	// The aggregator rides along as an extra sink so /events has a tail to
+	// serve; the engine comes back on the result.
+	agg := telemetry.NewAggregator(0)
+	res, err := eval.RunAttackDetection(a, tab.Views, eval.Table2Config{}, append(sinks, agg)...)
+	if err != nil {
+		return err
+	}
+	status := "clean"
+	if res.Flagged {
+		status = "FLAGGED"
+	}
+	fmt.Printf("%s on %s: %s\n", res.Attack.Name, res.Attack.Victim, status)
+	printVerdicts(res.Engine, tailN)
+	fmt.Printf("fcmon: %d suspect verdicts (%d unknown-origin), %d recoveries classified, %d drops\n",
+		res.Stats.Suspicious(), res.Stats.ByClass[detect.ClassUnknownOrigin],
+		res.Stats.Recoveries, res.Drops)
+	if err := serve(listen, res.Engine, agg, nil); err != nil {
+		return err
+	}
+	return wait(hold)
+}
+
+// serve binds the listener synchronously (so a just-started fcmon is
+// immediately curl-able) and serves /metrics and /events in the
+// background. The nil-tolerant MetricsHandler takes whichever sources the
+// mode has.
+func serve(listen string, m1, m2, m3 telemetry.MetricSource) error {
+	if listen == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return fmt.Errorf("fcmon: listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.MetricsHandler(m1, m2, m3))
+	for _, src := range []telemetry.MetricSource{m1, m2, m3} {
+		if t, ok := src.(telemetry.Tailer); ok {
+			mux.Handle("/events", telemetry.EventsHandler(t))
+			break
+		}
+	}
+	fmt.Printf("fcmon: serving /metrics and /events on http://%s\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			log.Printf("fcmon: serve: %v", err)
+		}
+	}()
+	return nil
+}
+
+func printVerdicts(eng *detect.Engine, n int) {
+	if eng == nil {
+		return
+	}
+	vs := eng.Verdicts()
+	if len(vs) > n {
+		fmt.Printf("verdicts (%d total, last %d):\n", len(vs), n)
+		vs = vs[len(vs)-n:]
+	} else if len(vs) > 0 {
+		fmt.Printf("verdicts (%d):\n", len(vs))
+	}
+	for _, v := range vs {
+		fmt.Printf("  %s\n", v)
+	}
+}
+
+// wait blocks forever when holding the server open.
+func wait(hold bool) error {
+	if hold {
+		select {}
+	}
+	return nil
+}

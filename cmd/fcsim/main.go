@@ -34,6 +34,7 @@ func main() {
 		check   = flag.Int("check", 2000, "full invariant sweep cadence in steps")
 		legacy  = flag.Bool("legacy", false, "use the paper's per-entry EPT rewrite switch path instead of snapshot root swaps")
 		mix     = flag.String("mix", "default", "event mix: default, or churn (module/view hotplug heavy)")
+		notel   = flag.Bool("notelemetry", false, "detach the telemetry pipeline (skips stream-completeness checks)")
 		verbose = flag.Bool("v", false, "log progress")
 	)
 	flag.Parse()
@@ -56,6 +57,7 @@ func main() {
 
 		LegacySwitch: *legacy,
 		Mix:          *mix,
+		NoTelemetry:  *notel,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

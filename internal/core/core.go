@@ -20,6 +20,7 @@ import (
 	"facechange/internal/kernel"
 	"facechange/internal/kview"
 	"facechange/internal/mem"
+	"facechange/internal/telemetry"
 )
 
 // FullView is the reserved index of the full kernel view (no restriction).
@@ -147,6 +148,13 @@ type Runtime struct {
 
 	log []Event
 
+	// emit, when non-nil, streams runtime events (switches, UD2 traps,
+	// recoveries, view hotplug, cache behavior) into the telemetry
+	// pipeline. Every instrumentation site is guarded by a nil check, so
+	// the default (nil) configuration pays one predictable branch and
+	// constructs nothing.
+	emit telemetry.Emitter
+
 	// Counters.
 	Recoveries          uint64
 	InstantRecoveries   uint64
@@ -231,6 +239,16 @@ func (r *Runtime) CacheStats() mem.CacheStats { return r.cache.Stats() }
 // Cache exposes the shadow-page cache (for pressure knobs and invariant
 // checks; the simulator uses it, production code should not).
 func (r *Runtime) Cache() *mem.PageCache { return r.cache }
+
+// SetEmitter attaches a telemetry emitter to every instrumentation site;
+// passing nil detaches (the default, with ~zero overhead). Emit is called
+// with the runtime's mutex held, so emitters must be cheap and
+// non-blocking — telemetry.Hub's ring push satisfies this.
+func (r *Runtime) SetEmitter(e telemetry.Emitter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.emit = e
+}
 
 // SetFaultInjector attaches a fault injector to every injectable runtime
 // channel: VMI reads, backtrace stack reads, pristine physical reads, the

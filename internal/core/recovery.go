@@ -1,58 +1,33 @@
 package core
 
 import (
+	"errors"
 	"fmt"
-	"strings"
 
 	"facechange/internal/hv"
 	"facechange/internal/isa"
 	"facechange/internal/mem"
+	"facechange/internal/telemetry"
 )
 
+// ErrUnidentifiedRegion marks an address outside every identifiable kernel
+// code region — the base text and the guest-admitted module list. Code a
+// rootkit hid cannot be recovered (there is nothing admitted to fetch), so
+// instant recovery skips such addresses; the backtrace still records them,
+// symbolized as UNKNOWN, for the detection engine.
+var ErrUnidentifiedRegion = errors.New("code region not identified")
+
+// Event is the runtime's event record — the telemetry schema, aliased so
+// the historic recovery-log API (Log, the eval and example consumers) and
+// the streaming pipeline share one type. A recovery is constructed exactly
+// once, retained in the runtime's log and streamed through the emitter;
+// KindRecovery is telemetry's zero Kind, so a bare Event literal remains a
+// recovery record and Event.String still renders the paper's log format
+// (Figures 4, 5).
+type Event = telemetry.Event
+
 // Frame is one backtrace entry.
-type Frame struct {
-	Addr uint32
-	Sym  string
-}
-
-// Event is one kernel code recovery with its provenance (Section III-B3).
-type Event struct {
-	Cycle uint64
-	CPU   int
-	// PID and Comm identify the guest process context (via VMI).
-	PID  int
-	Comm string
-	// View is the violated kernel view's name.
-	View string
-	// Addr is the faulting (or instantly recovered) address.
-	Addr uint32
-	// FnStart/FnEnd bound the recovered code.
-	FnStart, FnEnd uint32
-	// Fn is the symbolized recovered function.
-	Fn string
-	// Interrupt marks recoveries whose call stack shows interrupt context
-	// (benign case i of Section III-B3).
-	Interrupt bool
-	// Instant marks a caller recovered during a backtrace because its
-	// return site read "0B 0F" (Figure 3's instant recovery).
-	Instant bool
-	// Backtrace is the invocation chain, innermost first.
-	Backtrace []Frame
-}
-
-// String renders the event like the paper's recovery logs (Figures 4, 5).
-func (e Event) String() string {
-	var b strings.Builder
-	kind := ""
-	if e.Instant {
-		kind = " (instant)"
-	}
-	fmt.Fprintf(&b, "Recover 0x%08x <%s> for kernel[%s]%s\n", e.Addr, e.Fn, e.View, kind)
-	for _, f := range e.Backtrace {
-		fmt.Fprintf(&b, "|-- 0x%08x <%s>\n", f.Addr, f.Sym)
-	}
-	return b.String()
-}
+type Frame = telemetry.Frame
 
 // Log returns all recovery events in order.
 func (r *Runtime) Log() []Event { return r.log }
@@ -88,6 +63,17 @@ func (r *Runtime) OnInvalidOpcode(m *hv.Machine, cpu *hv.CPU) (bool, error) {
 		pid, comm = -1, "?"
 	}
 	inIRQ := r.stackInInterrupt(frames)
+	if r.emit != nil {
+		r.emit.Emit(Event{
+			Kind:  telemetry.KindUD2Trap,
+			Cycle: r.m.Cycles(),
+			CPU:   cpu.ID,
+			PID:   pid,
+			Comm:  comm,
+			View:  v.Name,
+			Addr:  cpu.EIP,
+		})
+	}
 
 	if _, err := r.recoverAt(cpu, v, cpu.EIP, pid, comm, inIRQ, false, frames); err != nil {
 		return false, err
@@ -95,6 +81,11 @@ func (r *Runtime) OnInvalidOpcode(m *hv.Machine, cpu *hv.CPU) (bool, error) {
 	if r.opts.InstantRecovery {
 		for _, a := range instantAddrs {
 			if _, err := r.recoverAt(cpu, v, a, pid, comm, inIRQ, true, frames); err != nil {
+				if errors.Is(err, ErrUnidentifiedRegion) {
+					// A return site inside hidden (or otherwise
+					// unidentifiable) code: nothing admitted to recover.
+					continue
+				}
 				return false, err
 			}
 		}
@@ -193,6 +184,7 @@ func (r *Runtime) recoverAt(cpu *hv.CPU, v *LoadedView, addr uint32, pid int, co
 	r.m.Charge(r.m.Cost.RecoveryBase + uint64(end-start)*r.m.Cost.RecoveryPerByte)
 
 	ev := Event{
+		Kind:      telemetry.KindRecovery,
 		Cycle:     r.m.Cycles(),
 		CPU:       cpu.ID,
 		PID:       pid,
@@ -205,8 +197,12 @@ func (r *Runtime) recoverAt(cpu *hv.CPU, v *LoadedView, addr uint32, pid int, co
 		Interrupt: inIRQ,
 		Instant:   instant,
 		Backtrace: frames,
+		N:         uint64(end - start),
 	}
 	r.log = append(r.log, ev)
+	if r.emit != nil {
+		r.emit.Emit(ev)
+	}
 	r.Recoveries++
 	if instant {
 		r.InstantRecoveries++
@@ -235,5 +231,5 @@ func (r *Runtime) regionOf(cpu *hv.CPU, addr uint32) (start, end uint32, space s
 			}
 		}
 	}
-	return 0, 0, "", fmt.Errorf("core: %#x is not in any identified kernel code region", addr)
+	return 0, 0, "", fmt.Errorf("core: %#x: %w", addr, ErrUnidentifiedRegion)
 }

@@ -5,6 +5,7 @@ import (
 
 	"facechange/internal/hv"
 	"facechange/internal/mem"
+	"facechange/internal/telemetry"
 )
 
 // OnAddrTrap implements hv.ExitHandler: Algorithm 1's
@@ -107,6 +108,7 @@ func (r *Runtime) applySwitch(cpu *hv.CPU, idx int) {
 		r.m.Charge(r.m.Cost.EPTPSwitch)
 		st.active = idx
 		r.ViewSwitches++
+		r.emitSwitch(cpu, idx, telemetry.KindEPTPSwap)
 		return
 	}
 
@@ -165,6 +167,26 @@ func (r *Runtime) applySwitch(cpu *hv.CPU, idx int) {
 	r.m.Charge(pdOps*r.m.Cost.EPTPDSwap + pteOps*r.m.Cost.EPTPTESwap)
 	st.active = idx
 	r.ViewSwitches++
+	r.emitSwitch(cpu, idx, telemetry.KindSwitch)
+}
+
+// emitSwitch streams a committed switch: KindEPTPSwap for the snapshot
+// root-swap path, KindSwitch for the legacy per-entry rewrite path.
+func (r *Runtime) emitSwitch(cpu *hv.CPU, idx int, kind telemetry.Kind) {
+	if r.emit == nil {
+		return
+	}
+	var view string
+	if v := r.ViewByIndex(idx); v != nil {
+		view = v.Name
+	}
+	r.emit.Emit(telemetry.Event{
+		Kind:  kind,
+		Cycle: r.m.Cycles(),
+		CPU:   cpu.ID,
+		View:  view,
+		N:     uint64(idx),
+	})
 }
 
 // ActiveView returns the view index active on a vCPU.

@@ -7,6 +7,7 @@ import (
 	"facechange/internal/isa"
 	"facechange/internal/kview"
 	"facechange/internal/mem"
+	"facechange/internal/telemetry"
 )
 
 // LoadedView is a kernel view materialized in host memory: shadow copies
@@ -218,6 +219,10 @@ func (r *Runtime) LoadView(cfg *kview.View) (int, error) {
 		shared:    make(map[uint32]bool),
 	}
 	stage := newViewStage()
+	var hits0, misses0 uint64
+	if r.emit != nil {
+		hits0, misses0 = r.cache.HitMiss()
+	}
 	// 1. Shadow the whole base kernel text with UD2.
 	for gpa := mem.KernelTextGPA; gpa < mem.KernelTextGPA+r.textSize; gpa += mem.PageSize {
 		stage.addPage(gpa, false)
@@ -300,6 +305,19 @@ func (r *Runtime) LoadView(cfg *kview.View) (int, error) {
 	r.views = append(r.views, v)
 	if cfg.App != "" {
 		r.byName[cfg.App] = idx
+	}
+	if r.emit != nil {
+		// Per-page cache events would swamp the rings (hundreds per load),
+		// so the load's cache behavior streams as two aggregate events.
+		cycle := r.m.Cycles()
+		hits1, misses1 := r.cache.HitMiss()
+		if n := hits1 - hits0; n > 0 {
+			r.emit.Emit(telemetry.Event{Kind: telemetry.KindCacheHit, Cycle: cycle, View: v.Name, N: n})
+		}
+		if n := misses1 - misses0; n > 0 {
+			r.emit.Emit(telemetry.Event{Kind: telemetry.KindCacheMiss, Cycle: cycle, View: v.Name, N: n})
+		}
+		r.emit.Emit(telemetry.Event{Kind: telemetry.KindViewLoad, Cycle: cycle, View: v.Name, N: uint64(idx)})
 	}
 	return idx, nil
 }
@@ -636,6 +654,9 @@ func (r *Runtime) UnloadView(idx int) error {
 		}
 	}
 	r.views[idx] = nil
+	if r.emit != nil {
+		r.emit.Emit(telemetry.Event{Kind: telemetry.KindViewUnload, Cycle: r.m.Cycles(), View: v.Name, N: uint64(idx)})
+	}
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"facechange/internal/kernel"
 	"facechange/internal/kview"
 	"facechange/internal/malware"
+	"facechange/internal/telemetry"
 )
 
 // Table2Config controls the security evaluation.
@@ -124,12 +125,22 @@ func runAttack(a malware.Attack, views map[string]*kview.View, union *kview.View
 // comm, runs the victim (clean or infected) to completion and returns the
 // set of recovered function names plus the raw log.
 func runScenario(a malware.Attack, view *kview.View, infected bool, cfg Table2Config) (map[string]bool, []core.Event, error) {
+	return runScenarioEmit(a, view, infected, cfg, nil)
+}
+
+// runScenarioEmit is runScenario with an optional telemetry emitter
+// attached to the runtime before it is enabled, so every switch, trap and
+// recovery of the scenario streams through the pipeline.
+func runScenarioEmit(a malware.Attack, view *kview.View, infected bool, cfg Table2Config, emit telemetry.Emitter) (map[string]bool, []core.Event, error) {
 	vm, err := facechange.NewVM(facechange.VMConfig{
 		Modules:      a.RequiredModules(),
 		ExtraModules: a.ExtraModules(),
 	})
 	if err != nil {
 		return nil, nil, err
+	}
+	if emit != nil {
+		vm.Runtime.SetEmitter(emit)
 	}
 	if infected && a.IsRootkit() {
 		// Case-study IV scenario: the rootkit is installed (and possibly

@@ -209,6 +209,15 @@ func (c *PageCache) Refs(hpa uint32) int {
 	return 0
 }
 
+// HitMiss returns just the hit and miss counters — a cheap read for
+// callers that bracket an operation (LoadView's telemetry) and only need
+// the delta, skipping Stats' full entry walk.
+func (c *PageCache) HitMiss() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
 // Stats returns a snapshot of the cache state.
 func (c *PageCache) Stats() CacheStats {
 	c.mu.Lock()

@@ -232,9 +232,18 @@ const (
 // applyUD2 fires a storm of invalid-opcode exits at addresses inside the
 // base kernel text, each with a fabricated EBP frame chain whose return
 // sites point back into the text — odd return addresses land on "0B 0F"
-// shadow bytes and exercise instant recovery.
+// shadow bytes and exercise instant recovery. When the guest carries a
+// hidden module, one frame in four chains points into its code instead:
+// the rootkit-hook shape, whose frame must symbolize as UNKNOWN and drive
+// the detection engine's unknown-origin verdict.
 func (s *Simulator) applyUD2(cpuID int, ev Event) error {
 	cpu := s.k.M.CPUs[cpuID]
+	var hidden []kernel.ModuleInfo
+	for _, m := range s.k.Modules() {
+		if !m.Visible {
+			hidden = append(hidden, m)
+		}
+	}
 	reps := 1 + int(ev.A)%3
 	for rep := 0; rep < reps; rep++ {
 		fn := s.textFuncs[(int(ev.B)+rep*31)%len(s.textFuncs)]
@@ -245,10 +254,18 @@ func (s *Simulator) applyUD2(cpuID int, ev Event) error {
 		nframes := (int(ev.A>>8) + rep) % 4
 		frame := ebp
 		for i := 0; i < nframes; i++ {
-			callerFn := s.textFuncs[s.rng.Intn(len(s.textFuncs))]
-			ret := callerFn.Addr + 1 + uint32(s.rng.Intn(int(callerFn.Size)-1))
-			if s.rng.Intn(2) == 0 {
-				ret |= 1 // odd return site: the "0B 0F" misparse shape
+			var ret uint32
+			if len(hidden) > 0 && s.rng.Intn(4) == 0 {
+				m := hidden[s.rng.Intn(len(hidden))]
+				// Even offset: hidden code is never instant-recovered (it
+				// has no admitted region), only witnessed in the backtrace.
+				ret = m.Base + uint32(s.rng.Intn(int(m.Size)))&^1
+			} else {
+				callerFn := s.textFuncs[s.rng.Intn(len(s.textFuncs))]
+				ret = callerFn.Addr + 1 + uint32(s.rng.Intn(int(callerFn.Size)-1))
+				if s.rng.Intn(2) == 0 {
+					ret |= 1 // odd return site: the "0B 0F" misparse shape
+				}
 			}
 			next := frame + 0x40
 			if i == nframes-1 {

@@ -31,9 +31,11 @@ import (
 	"strings"
 
 	"facechange/internal/core"
+	"facechange/internal/detect"
 	"facechange/internal/kernel"
 	"facechange/internal/kview"
 	"facechange/internal/mem"
+	"facechange/internal/telemetry"
 )
 
 // Config parameterizes a simulation run. The zero value of every field is
@@ -71,6 +73,19 @@ type Config struct {
 	// load/hide and view hotplug heavy stream that stresses snapshot and
 	// module-list-cache invalidation.
 	Mix string
+	// NoTelemetry detaches the telemetry pipeline (on by default: the
+	// runtime streams through a Hub into the aggregator and the detection
+	// engine, and the per-step checks verify stream completeness).
+	// Telemetry charges no simulated cycles, so digests are identical with
+	// and without it.
+	NoTelemetry bool
+	// TelemetryRing overrides the per-vCPU ring capacity (default
+	// telemetry.DefaultRingSize).
+	TelemetryRing int
+	// Sinks are extra telemetry sinks appended after the built-in ones
+	// (counting sink, aggregator, detection engine) — cmd/fcmon attaches a
+	// JSONL writer here. Ignored under NoTelemetry.
+	Sinks []telemetry.Sink
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -133,8 +148,22 @@ type Result struct {
 	LiveViews int
 	// Cache is the shadow-page cache's final state.
 	Cache mem.CacheStats
+	// Telemetry summarizes the event pipeline (zero when disabled).
+	Telemetry TelemetrySummary
 	// Violation is the failed invariant, or nil for a clean run.
 	Violation *Violation
+}
+
+// TelemetrySummary is the pipeline's end-of-run state.
+type TelemetrySummary struct {
+	// Enabled reports whether the pipeline was attached.
+	Enabled bool
+	// Emitted and Drops are the hub's intake counters; Consumed is the
+	// number of events delivered to sinks.
+	Emitted, Drops, Consumed uint64
+	// UnknownVerdicts and SuspectVerdicts count the detection engine's
+	// unknown-origin classifications and total suspected-attack verdicts.
+	UnknownVerdicts, SuspectVerdicts uint64
 }
 
 // Summary renders the result for humans.
@@ -160,6 +189,10 @@ func (r *Result) Summary() string {
 		r.Loads, r.Unloads, r.LiveViews, r.PoolRuns)
 	fmt.Fprintf(&b, "page cache: %d distinct, %d deduped, %.0f%% dedup, %d privatized\n",
 		r.Cache.DistinctPages, r.Cache.DedupedPages, 100*r.Cache.DedupRatio(), r.Cache.Privatized)
+	if r.Telemetry.Enabled {
+		fmt.Fprintf(&b, "telemetry:  %d events, %d drops, %d unknown-origin verdicts (%d suspect total)\n",
+			r.Telemetry.Consumed, r.Telemetry.Drops, r.Telemetry.UnknownVerdicts, r.Telemetry.SuspectVerdicts)
+	}
 	return b.String()
 }
 
@@ -194,7 +227,50 @@ type Simulator struct {
 	dig  *digest
 	ring []string
 
+	tel *simTelemetry
+
 	res Result
+}
+
+// simTelemetry is the simulator's attached event pipeline: the hub the
+// runtime emits into, the standard sinks, and an independent counting sink
+// the stream-completeness invariant compares against the runtime's own
+// counters.
+type simTelemetry struct {
+	hub *telemetry.Hub
+	agg *telemetry.Aggregator
+	eng *detect.Engine
+
+	// Counted by the counting sink, independently of the aggregator and
+	// the engine (all mutation happens on the draining goroutine).
+	recoveries uint64 // KindRecovery events seen
+	unknown    uint64 // ...whose provenance is unresolvable
+	ud2Traps   uint64 // KindUD2Trap events seen
+}
+
+func newSimTelemetry(cpus, ringSize int, extra []telemetry.Sink) *simTelemetry {
+	t := &simTelemetry{
+		agg: telemetry.NewAggregator(0),
+		eng: detect.New(detect.Config{}),
+	}
+	count := telemetry.SinkFunc(func(ev telemetry.Event) {
+		switch ev.Kind {
+		case telemetry.KindRecovery:
+			t.recoveries++
+			if detect.UnknownOrigin(ev) {
+				t.unknown++
+			}
+		case telemetry.KindUD2Trap:
+			t.ud2Traps++
+		}
+	})
+	sinks := append([]telemetry.Sink{count, t.agg, t.eng}, extra...)
+	t.hub = telemetry.NewHub(telemetry.HubConfig{
+		CPUs:     cpus,
+		RingSize: ringSize,
+		Sinks:    sinks,
+	})
+	return t
 }
 
 // New boots a simulation machine: a KVM-environment kernel with one
@@ -229,6 +305,14 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	inj := NewInjector(cfg.Seed^0x5DEECE66D, cfg.Faults, cfg.FaultRate)
 	rt.SetFaultInjector(inj)
+	var tel *simTelemetry
+	if !cfg.NoTelemetry {
+		// The hub is drained synchronously at check cadence (no background
+		// goroutine), so the event stream stays deterministic and every
+		// check sees a fully flushed pipeline.
+		tel = newSimTelemetry(cfg.CPUs, cfg.TelemetryRing, cfg.Sinks)
+		rt.SetEmitter(tel.hub)
+	}
 	rt.Enable()
 
 	s := &Simulator{
@@ -243,6 +327,7 @@ func New(cfg Config) (*Simulator, error) {
 		textSize:   k.Img.TextSize(),
 		weights:    weights,
 		dig:        newDigest(),
+		tel:        tel,
 	}
 	for _, w := range weights {
 		s.weightTotal += w
@@ -264,6 +349,17 @@ func (s *Simulator) Kernel() *kernel.Kernel { return s.k }
 
 // Runtime exposes the runtime under test (for white-box tests).
 func (s *Simulator) Runtime() *core.Runtime { return s.rt }
+
+// Pipeline exposes the attached telemetry pipeline — the hub the runtime
+// emits into, the aggregator and the detection engine — or all nil when
+// the run was configured with NoTelemetry. cmd/fcmon serves /metrics and
+// /events from these.
+func (s *Simulator) Pipeline() (*telemetry.Hub, *telemetry.Aggregator, *detect.Engine) {
+	if s.tel == nil {
+		return nil, nil, nil
+	}
+	return s.tel.hub, s.tel.agg, s.tel.eng
+}
 
 // Run executes cfg.Steps generated events and a final full sweep.
 func (s *Simulator) Run() (*Result, error) {
@@ -348,6 +444,9 @@ func (s *Simulator) stepEvent(ev Event) *Violation {
 		if err := s.checkEPT(false); err != nil {
 			return s.violation(ev, err.Error())
 		}
+		if err := s.checkTelemetry(); err != nil {
+			return s.violation(ev, err.Error())
+		}
 	}
 	if s.step%s.cfg.CheckEvery == 0 {
 		if err := s.CheckAll(); err != nil {
@@ -364,6 +463,37 @@ func (s *Simulator) stepEvent(ev Event) *Violation {
 func (s *Simulator) finalSweep() *Violation {
 	if err := s.CheckAll(); err != nil {
 		return &Violation{Step: s.step, Event: "final sweep", Desc: err.Error(), Trace: append([]string(nil), s.ring...)}
+	}
+	if err := s.checkTelemetry(); err != nil {
+		return &Violation{Step: s.step, Event: "final sweep", Desc: err.Error(), Trace: append([]string(nil), s.ring...)}
+	}
+	return nil
+}
+
+// checkTelemetry drains the pipeline and verifies stream completeness
+// against the runtime's own counters:
+//
+//   - no ring drops at the configured capacity;
+//   - every recovery the runtime performed is exactly one KindRecovery
+//     event, and every committed switch exactly one switch event;
+//   - every unknown-provenance recovery yielded exactly one unknown-origin
+//     classification in the detection engine.
+func (s *Simulator) checkTelemetry() error {
+	if s.tel == nil {
+		return nil
+	}
+	s.tel.hub.Drain()
+	if d := s.tel.hub.Drops(); d != 0 {
+		return fmt.Errorf("telemetry: %d ring drops (capacity %d)", d, s.cfg.TelemetryRing)
+	}
+	if s.tel.recoveries != s.rt.Recoveries {
+		return fmt.Errorf("telemetry: %d recovery events vs %d runtime recoveries", s.tel.recoveries, s.rt.Recoveries)
+	}
+	if sw := s.tel.agg.Stats().Switches; sw != s.rt.ViewSwitches {
+		return fmt.Errorf("telemetry: %d switch events vs %d runtime switches", sw, s.rt.ViewSwitches)
+	}
+	if got := s.tel.eng.Stats().ByClass[detect.ClassUnknownOrigin]; got != s.tel.unknown {
+		return fmt.Errorf("telemetry: %d unknown-origin verdicts vs %d unknown-provenance recoveries", got, s.tel.unknown)
 	}
 	return nil
 }
@@ -397,6 +527,18 @@ func (s *Simulator) finish(v *Violation) (*Result, error) {
 	s.res.ViewSwitches = s.rt.ViewSwitches
 	s.res.LiveViews = len(s.rt.LoadedIndices())
 	s.res.Cache = s.rt.CacheStats()
+	if s.tel != nil {
+		s.tel.hub.Drain()
+		st := s.tel.eng.Stats()
+		s.res.Telemetry = TelemetrySummary{
+			Enabled:         true,
+			Emitted:         s.tel.hub.Emitted(),
+			Drops:           s.tel.hub.Drops(),
+			Consumed:        s.tel.agg.Stats().Total,
+			UnknownVerdicts: st.ByClass[detect.ClassUnknownOrigin],
+			SuspectVerdicts: st.Suspicious(),
+		}
+	}
 	s.res.Violation = v
 	res := s.res
 	if v != nil {

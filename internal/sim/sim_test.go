@@ -422,3 +422,63 @@ func TestUnknownMixRejected(t *testing.T) {
 		t.Fatal("New accepted unknown event mix")
 	}
 }
+
+// TestTelemetryStreamCompleteness: the standard storm mix with the default
+// pipeline must run with zero ring drops, and the stream must account for
+// every runtime recovery and switch (the per-step checkTelemetry invariant
+// verifies this continuously; here the end state is pinned too).
+func TestTelemetryStreamCompleteness(t *testing.T) {
+	res, err := Run(Config{Seed: 11, Steps: 2000, Faults: FaultAll, NoPool: true})
+	if err != nil {
+		t.Fatalf("simulation failed: %v", err)
+	}
+	tel := res.Telemetry
+	if !tel.Enabled {
+		t.Fatal("telemetry not enabled by default")
+	}
+	if tel.Drops != 0 {
+		t.Fatalf("ring drops = %d, want 0 at default capacity", tel.Drops)
+	}
+	if tel.Emitted != tel.Consumed {
+		t.Fatalf("emitted %d != consumed %d after final drain", tel.Emitted, tel.Consumed)
+	}
+	if res.Recoveries == 0 || tel.Consumed < res.Recoveries+res.ViewSwitches {
+		t.Fatalf("consumed %d events cannot cover %d recoveries + %d switches",
+			tel.Consumed, res.Recoveries, res.ViewSwitches)
+	}
+}
+
+// TestTelemetryChurnUnknownVerdicts: the churn mix hides modules, so some
+// recoveries symbolize as UNKNOWN and must each yield exactly one
+// unknown-origin verdict (the checkTelemetry invariant); the end state must
+// show at least one.
+func TestTelemetryChurnUnknownVerdicts(t *testing.T) {
+	res, err := Run(Config{Seed: 7, Steps: 3000, Mix: "churn", NoPool: true})
+	if err != nil {
+		t.Fatalf("simulation failed: %v", err)
+	}
+	if res.Telemetry.Drops != 0 {
+		t.Fatalf("ring drops = %d, want 0", res.Telemetry.Drops)
+	}
+	if res.Telemetry.UnknownVerdicts == 0 {
+		t.Error("churn mix produced no unknown-origin verdicts (module hiding should)")
+	}
+}
+
+// TestTelemetryDigestNeutral: the pipeline charges no simulated cycles, so
+// the digest must be identical with and without it.
+func TestTelemetryDigestNeutral(t *testing.T) {
+	cfg := Config{Seed: 42, Steps: 600, Faults: FaultAll, NoPool: true}
+	with, errA := Run(cfg)
+	cfg.NoTelemetry = true
+	without, errB := Run(cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("runs failed: %v / %v", errA, errB)
+	}
+	if with.Digest != without.Digest {
+		t.Fatalf("telemetry perturbed the trace: digest %016x != %016x", with.Digest, without.Digest)
+	}
+	if without.Telemetry.Enabled {
+		t.Error("NoTelemetry run reports an enabled pipeline")
+	}
+}

@@ -1,0 +1,191 @@
+// Package telemetry turns the FACE-CHANGE runtime's internal activity —
+// view switches, UD2 traps, kernel code recoveries, view hotplug, shadow
+// page cache behavior — into a consumable event stream.
+//
+// The design splits the capture path from the consumption path so the
+// runtime's trap handlers never block on a slow consumer:
+//
+//   - the runtime emits events through a nil-checkable Emitter hook (zero
+//     overhead when no emitter is attached);
+//   - a Hub buffers events in bounded per-vCPU ring buffers with explicit
+//     drop accounting (an overrun drops the newest event and counts it; it
+//     never blocks and never overwrites history a consumer is reading);
+//   - a fan-in consumer restores total order by emission sequence number
+//     and feeds pluggable sinks: an in-memory Aggregator, a JSONL writer,
+//     the detection engine (internal/detect), and a Prometheus-style text
+//     exposition over HTTP (/metrics, /events).
+//
+// Kernel code recovery events double as the paper's recovery log: the
+// runtime constructs one Event per recovery (provenance backtrace included)
+// and both retains it (core.Runtime.Log) and streams it — there is a single
+// construction point and a single schema, not parallel log formats.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the event taxonomy.
+type Kind uint8
+
+const (
+	// KindRecovery is a kernel code recovery (Section III-B3): out-of-view
+	// execution that trapped (or was instantly recovered during a
+	// backtrace) and had its code fetched into the view. It carries the
+	// full provenance: faulting address, recovered span, symbolized
+	// function and the backtrace. KindRecovery is the zero Kind so a bare
+	// Event literal is a recovery record, matching the runtime's historic
+	// log entries.
+	KindRecovery Kind = iota
+	// KindSwitch is a committed view switch on a vCPU via the legacy
+	// per-entry EPT rewrite path.
+	KindSwitch
+	// KindEPTPSwap is a committed view switch via the snapshot fast path:
+	// one EPTP-style root pointer swap.
+	KindEPTPSwap
+	// KindUD2Trap is an invalid-opcode VM exit inside a restricted view
+	// (before any recovery happens). One trap may yield several
+	// KindRecovery events (the trap target plus instant recoveries).
+	KindUD2Trap
+	// KindViewLoad is a successful view hot-plug.
+	KindViewLoad
+	// KindViewUnload is a successful view unload.
+	KindViewUnload
+	// KindCacheHit counts shadow pages served by the content-addressed
+	// cache without a copy during one view load (N = pages).
+	KindCacheHit
+	// KindCacheMiss counts shadow pages that had to be allocated during
+	// one view load (N = pages).
+	KindCacheMiss
+
+	// NumKinds is the number of event kinds.
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	"recovery", "switch", "eptp-swap", "ud2-trap",
+	"view-load", "view-unload", "cache-hit", "cache-miss",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// MarshalJSON renders the kind as its name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON parses a kind name.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for i, n := range kindNames {
+		if n == s {
+			*k = Kind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown event kind %q", s)
+}
+
+// Frame is one backtrace entry of a recovery event.
+type Frame struct {
+	Addr uint32 `json:"addr"`
+	Sym  string `json:"sym"`
+}
+
+// Event is one runtime event. Fields beyond the common header (Seq, Cycle,
+// CPU, Kind) are kind-specific; unused fields are zero and omitted from
+// JSON.
+type Event struct {
+	// Seq is the hub-assigned emission sequence number (0 before intake).
+	Seq uint64 `json:"seq,omitempty"`
+	// Cycle is the simulated machine cycle counter at emission.
+	Cycle uint64 `json:"cycle"`
+	// CPU is the vCPU the event occurred on (0 for administrative events
+	// such as view hotplug).
+	CPU  int  `json:"cpu"`
+	Kind Kind `json:"kind"`
+
+	// PID and Comm identify the guest process context (recovery and UD2
+	// trap events, via VMI; -1/"?" when the VMI read failed).
+	PID  int    `json:"pid,omitempty"`
+	Comm string `json:"comm,omitempty"`
+	// View is the kernel view involved (violated view, switch target,
+	// loaded/unloaded view). Empty means the full kernel view.
+	View string `json:"view,omitempty"`
+
+	// Addr is the faulting (or instantly recovered) address for recovery
+	// and UD2-trap events.
+	Addr uint32 `json:"addr,omitempty"`
+	// FnStart/FnEnd bound the recovered code span.
+	FnStart uint32 `json:"fn_start,omitempty"`
+	FnEnd   uint32 `json:"fn_end,omitempty"`
+	// Fn is the symbolized recovered function.
+	Fn string `json:"fn,omitempty"`
+	// Interrupt marks recoveries whose call stack shows interrupt context
+	// (benign case i of Section III-B3).
+	Interrupt bool `json:"interrupt,omitempty"`
+	// Instant marks a caller recovered during a backtrace because its
+	// return site read "0B 0F" (Figure 3's instant recovery).
+	Instant bool `json:"instant,omitempty"`
+	// Backtrace is the invocation chain, innermost first.
+	Backtrace []Frame `json:"backtrace,omitempty"`
+
+	// N is a kind-specific magnitude: recovered bytes (recovery), the
+	// target view index (switch/eptp-swap/view-load/view-unload), or a
+	// page count (cache-hit/cache-miss).
+	N uint64 `json:"n,omitempty"`
+}
+
+// String renders the event. Recovery events use the paper's recovery-log
+// format (Figures 4, 5), byte-compatible with the runtime's historic log
+// lines; other kinds render one compact line.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindRecovery:
+		var b strings.Builder
+		kind := ""
+		if e.Instant {
+			kind = " (instant)"
+		}
+		fmt.Fprintf(&b, "Recover 0x%08x <%s> for kernel[%s]%s\n", e.Addr, e.Fn, e.View, kind)
+		for _, f := range e.Backtrace {
+			fmt.Fprintf(&b, "|-- 0x%08x <%s>\n", f.Addr, f.Sym)
+		}
+		return b.String()
+	case KindUD2Trap:
+		return fmt.Sprintf("%s cpu%d 0x%08x view=%s comm=%s", e.Kind, e.CPU, e.Addr, e.View, e.Comm)
+	case KindSwitch, KindEPTPSwap, KindViewLoad, KindViewUnload:
+		view := e.View
+		if view == "" {
+			view = "<full>"
+		}
+		return fmt.Sprintf("%s cpu%d view=%s idx=%d", e.Kind, e.CPU, view, e.N)
+	default:
+		return fmt.Sprintf("%s cpu%d n=%d", e.Kind, e.CPU, e.N)
+	}
+}
+
+// Emitter is the runtime's capture hook. The runtime holds an Emitter
+// field that is nil by default; every instrumentation site is guarded by a
+// nil check so a disabled pipeline costs one predictable branch.
+//
+// Emit must be cheap and non-blocking: it is called from trap handlers on
+// the guest's critical path. Hub satisfies this by pushing into a bounded
+// ring and dropping (with accounting) on overrun.
+type Emitter interface {
+	Emit(ev Event)
+}
+
+// EmitterFunc adapts a function to an Emitter (test and glue use).
+type EmitterFunc func(ev Event)
+
+// Emit implements Emitter.
+func (f EmitterFunc) Emit(ev Event) { f(ev) }

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Writer renders Prometheus text-exposition metrics, emitting each
+// metric's # HELP/# TYPE header once regardless of how many sources or
+// label combinations contribute samples.
+type Writer struct {
+	w    io.Writer
+	seen map[string]bool
+}
+
+// NewMetricsWriter wraps an io.Writer.
+func NewMetricsWriter(w io.Writer) *Writer {
+	return &Writer{w: w, seen: make(map[string]bool)}
+}
+
+func (w *Writer) header(name, help, typ string) {
+	if w.seen[name] {
+		return
+	}
+	w.seen[name] = true
+	fmt.Fprintf(w.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Counter writes an unlabeled counter sample.
+func (w *Writer) Counter(name, help string, v float64) {
+	w.header(name, help, "counter")
+	fmt.Fprintf(w.w, "%s %s\n", name, formatValue(v))
+}
+
+// Gauge writes an unlabeled gauge sample.
+func (w *Writer) Gauge(name, help string, v float64) {
+	w.header(name, help, "gauge")
+	fmt.Fprintf(w.w, "%s %s\n", name, formatValue(v))
+}
+
+// Labeled writes one labeled sample of the given metric type.
+func (w *Writer) Labeled(name, help, typ string, labels [][2]string, v float64) {
+	w.header(name, help, typ)
+	fmt.Fprintf(w.w, "%s{", name)
+	for i, kv := range labels {
+		if i > 0 {
+			io.WriteString(w.w, ",")
+		}
+		fmt.Fprintf(w.w, "%s=%s", kv[0], strconv.Quote(kv[1]))
+	}
+	fmt.Fprintf(w.w, "} %s\n", formatValue(v))
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// MetricSource contributes samples to a /metrics response. Hub,
+// Aggregator and the detection engine implement it.
+type MetricSource interface {
+	WriteMetrics(w *Writer)
+}
+
+// MetricsHandler serves a Prometheus-style text exposition aggregated
+// from the given sources.
+func MetricsHandler(sources ...MetricSource) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w := NewMetricsWriter(rw)
+		for _, s := range sources {
+			if s != nil {
+				s.WriteMetrics(w)
+			}
+		}
+	})
+}
+
+// Tailer hands out recent events; Aggregator implements it.
+type Tailer interface {
+	Tail(n int) []Event
+}
+
+// EventsHandler streams the tailer's recent events as JSON lines. The
+// optional ?n= query bounds the count.
+func EventsHandler(t Tailer) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, req *http.Request) {
+		n := 0
+		if q := req.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(rw, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		rw.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(rw)
+		for _, ev := range t.Tail(n) {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sink consumes the ordered event stream on the hub's consumer side.
+// HandleEvent is always called from a single goroutine at a time (the
+// hub serializes delivery), so a sink needs its own locking only if it is
+// also queried concurrently (the Aggregator and the detection engine are).
+type Sink interface {
+	HandleEvent(ev Event)
+}
+
+// Flusher is an optional Sink extension flushed by Hub.Close (buffered
+// writers).
+type Flusher interface {
+	Flush() error
+}
+
+// HubConfig parameterizes a Hub.
+type HubConfig struct {
+	// CPUs is the number of per-vCPU rings (default 1). Events whose CPU
+	// is out of range land in ring 0.
+	CPUs int
+	// RingSize is the per-vCPU ring capacity (default DefaultRingSize).
+	RingSize int
+	// Sinks receive the fan-in stream in emission order.
+	Sinks []Sink
+}
+
+// Hub is the pipeline's buffering stage: per-vCPU rings on the capture
+// side, a fan-in consumer on the other. It implements Emitter and is what
+// the runtime's hook points at.
+//
+// Consumption is either synchronous (Drain, for deterministic tests and
+// the simulator) or backgrounded (Start/Close). The two can coexist: a
+// mutex serializes drain rounds, so sinks always see a totally ordered
+// stream.
+type Hub struct {
+	rings []*Ring
+	sinks []Sink
+	seq   atomic.Uint64
+
+	// emitted counts events accepted into rings (drops excluded).
+	emitted atomic.Uint64
+
+	// drainMu serializes drain rounds between Drain callers and the
+	// background consumer.
+	drainMu sync.Mutex
+
+	notify  chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+	started atomic.Bool
+}
+
+// NewHub creates a hub.
+func NewHub(cfg HubConfig) *Hub {
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 1
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = DefaultRingSize
+	}
+	h := &Hub{
+		sinks:  cfg.Sinks,
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for i := 0; i < cfg.CPUs; i++ {
+		h.rings = append(h.rings, NewRing(cfg.RingSize))
+	}
+	return h
+}
+
+// Emit implements Emitter: stamp a sequence number, push into the event's
+// per-vCPU ring (dropping with accounting on overrun), and nudge the
+// background consumer if one is running. Never blocks.
+func (h *Hub) Emit(ev Event) {
+	ev.Seq = h.seq.Add(1)
+	cpu := ev.CPU
+	if cpu < 0 || cpu >= len(h.rings) {
+		cpu = 0
+	}
+	if h.rings[cpu].Push(ev) {
+		h.emitted.Add(1)
+	}
+	if h.started.Load() {
+		select {
+		case h.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Start launches the background fan-in consumer. Safe to call once.
+func (h *Hub) Start() {
+	if !h.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(h.done)
+		for {
+			select {
+			case <-h.stop:
+				h.Drain()
+				return
+			case <-h.notify:
+				h.Drain()
+			}
+		}
+	}()
+}
+
+// Close stops the background consumer (if started), drains every ring and
+// flushes flushable sinks.
+func (h *Hub) Close() error {
+	if h.started.Load() {
+		close(h.stop)
+		<-h.done
+	} else {
+		h.Drain()
+	}
+	var first error
+	for _, s := range h.sinks {
+		if f, ok := s.(Flusher); ok {
+			if err := f.Flush(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Drain synchronously moves every buffered event to the sinks, restoring
+// total emission order by merging rings on sequence number. Returns the
+// number of events delivered.
+func (h *Hub) Drain() int {
+	h.drainMu.Lock()
+	defer h.drainMu.Unlock()
+	n := 0
+	for {
+		best := -1
+		var bestSeq uint64
+		for i, r := range h.rings {
+			if ev, ok := r.Peek(); ok && (best < 0 || ev.Seq < bestSeq) {
+				best, bestSeq = i, ev.Seq
+			}
+		}
+		if best < 0 {
+			return n
+		}
+		ev, _ := h.rings[best].Pop()
+		for _, s := range h.sinks {
+			s.HandleEvent(ev)
+		}
+		n++
+	}
+}
+
+// Drops returns the total number of events dropped across all rings.
+func (h *Hub) Drops() uint64 {
+	var d uint64
+	for _, r := range h.rings {
+		d += r.Drops()
+	}
+	return d
+}
+
+// Emitted returns the number of events accepted into rings since creation.
+func (h *Hub) Emitted() uint64 { return h.emitted.Load() }
+
+// Pending returns the number of buffered, not yet consumed events.
+func (h *Hub) Pending() int {
+	n := 0
+	for _, r := range h.rings {
+		n += r.Len()
+	}
+	return n
+}
+
+// WriteMetrics implements MetricSource: ring occupancy and drop counters.
+func (h *Hub) WriteMetrics(w *Writer) {
+	w.Counter("facechange_events_emitted_total", "events accepted into ring buffers", float64(h.Emitted()))
+	w.Counter("facechange_ring_drops_total", "events dropped on ring overrun", float64(h.Drops()))
+	w.Gauge("facechange_ring_pending", "events buffered awaiting consumption", float64(h.Pending()))
+}

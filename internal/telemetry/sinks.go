@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// SinkFunc adapts a function to a Sink.
+type SinkFunc func(ev Event)
+
+// HandleEvent implements Sink.
+func (f SinkFunc) HandleEvent(ev Event) { f(ev) }
+
+// AggStats is a point-in-time summary of the stream an Aggregator has
+// consumed.
+type AggStats struct {
+	// Total is the number of events consumed.
+	Total uint64
+	// ByKind counts events per kind.
+	ByKind [NumKinds]uint64
+	// Switches is ByKind[KindSwitch] + ByKind[KindEPTPSwap].
+	Switches uint64
+	// InterruptRecoveries / InstantRecoveries split the recovery count by
+	// provenance flags.
+	InterruptRecoveries, InstantRecoveries uint64
+	// RecoveredBytes sums recovery span sizes.
+	RecoveredBytes uint64
+	// ByComm counts recovery events per guest process name.
+	ByComm map[string]uint64
+	// ByView counts switches per target view name ("" = full view).
+	ByView map[string]uint64
+}
+
+// Aggregator is an in-memory sink: counters by kind, per-comm and per-view
+// breakdowns, and a bounded tail of recent events for the /events endpoint.
+// Safe for concurrent HandleEvent and queries.
+type Aggregator struct {
+	mu   sync.Mutex
+	st   AggStats
+	tail []Event
+	next int
+	full bool
+}
+
+// DefaultTailSize bounds the Aggregator's recent-event replay buffer.
+const DefaultTailSize = 256
+
+// NewAggregator creates an aggregator with a tail of n recent events
+// (DefaultTailSize when n <= 0).
+func NewAggregator(n int) *Aggregator {
+	if n <= 0 {
+		n = DefaultTailSize
+	}
+	return &Aggregator{
+		st:   AggStats{ByComm: make(map[string]uint64), ByView: make(map[string]uint64)},
+		tail: make([]Event, n),
+	}
+}
+
+// HandleEvent implements Sink.
+func (a *Aggregator) HandleEvent(ev Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.st.Total++
+	a.st.ByKind[ev.Kind]++
+	switch ev.Kind {
+	case KindRecovery:
+		if ev.Interrupt {
+			a.st.InterruptRecoveries++
+		}
+		if ev.Instant {
+			a.st.InstantRecoveries++
+		}
+		a.st.RecoveredBytes += ev.N
+		if ev.Comm != "" {
+			a.st.ByComm[ev.Comm]++
+		}
+	case KindSwitch, KindEPTPSwap:
+		a.st.Switches++
+		a.st.ByView[ev.View]++
+	}
+	a.tail[a.next] = ev
+	a.next++
+	if a.next == len(a.tail) {
+		a.next, a.full = 0, true
+	}
+}
+
+// Stats returns a snapshot of the aggregate counters.
+func (a *Aggregator) Stats() AggStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.st
+	st.ByComm = make(map[string]uint64, len(a.st.ByComm))
+	for k, v := range a.st.ByComm {
+		st.ByComm[k] = v
+	}
+	st.ByView = make(map[string]uint64, len(a.st.ByView))
+	for k, v := range a.st.ByView {
+		st.ByView[k] = v
+	}
+	return st
+}
+
+// Tail returns up to n most recent events, oldest first.
+func (a *Aggregator) Tail(n int) []Event {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []Event
+	if a.full {
+		out = append(out, a.tail[a.next:]...)
+	}
+	out = append(out, a.tail[:a.next]...)
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return append([]Event(nil), out...)
+}
+
+// WriteMetrics implements MetricSource.
+func (a *Aggregator) WriteMetrics(w *Writer) {
+	st := a.Stats()
+	for k := Kind(0); k < NumKinds; k++ {
+		w.Labeled("facechange_events_total", "events consumed by kind", "counter",
+			[][2]string{{"kind", k.String()}}, float64(st.ByKind[k]))
+	}
+	w.Counter("facechange_view_switches_total", "committed view switches (both switch paths)", float64(st.Switches))
+	w.Labeled("facechange_recoveries_total", "kernel code recoveries by provenance flag", "counter",
+		[][2]string{{"provenance", "interrupt"}}, float64(st.InterruptRecoveries))
+	w.Labeled("facechange_recoveries_total", "kernel code recoveries by provenance flag", "counter",
+		[][2]string{{"provenance", "instant"}}, float64(st.InstantRecoveries))
+	w.Counter("facechange_recovered_bytes_total", "kernel code bytes recovered into views", float64(st.RecoveredBytes))
+	for _, comm := range sortedKeys(st.ByComm) {
+		w.Labeled("facechange_recoveries_by_comm_total", "kernel code recoveries per guest process", "counter",
+			[][2]string{{"comm", comm}}, float64(st.ByComm[comm]))
+	}
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// JSONLWriter is a sink that writes each event as one JSON line. Wrap the
+// destination yourself if it must survive concurrent writers; the hub
+// already serializes HandleEvent calls.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLWriter creates a buffered JSONL sink.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// HandleEvent implements Sink. The first encode error sticks and is
+// reported by Flush.
+func (j *JSONLWriter) HandleEvent(ev Event) {
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(ev)
+}
+
+// Flush implements Flusher.
+func (j *JSONLWriter) Flush() error {
+	if j.err != nil {
+		return fmt.Errorf("telemetry: jsonl sink: %w", j.err)
+	}
+	return j.bw.Flush()
+}
