@@ -10,13 +10,14 @@
 //     switches, UD2 storms, view hotplug — streams through the pipeline;
 //     the churn mix loads hidden modules and exercises the unknown-origin
 //     detection path.
+//
 //   - attack mode (-attack): one Table II catalog attack (or "all") is
 //     replayed — the victim's clean run seeds the baseline, then the
 //     infected run streams through the engine.
 //
-//	fcmon -steps 20000 -mix churn -listen :9130
-//	fcmon -attack KBeast -syscalls 400
-//	fcmon -list
+//     fcmon -steps 20000 -mix churn -listen :9130
+//     fcmon -attack KBeast -syscalls 400
+//     fcmon -list
 package main
 
 import (

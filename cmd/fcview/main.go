@@ -9,12 +9,19 @@
 //	fcview -summary top.view.json
 //	fcview -compare top.view.json firefox.view.json
 //	fcview -union -o union.view.json a.view.json b.view.json ...
+//	fcview -export -o top.view.kvc top.view.json
+//	fcview -import -o top.view.json top.view.kvc
+//
+// -export/-import convert between the JSON form and the canonical binary
+// configuration (the content-addressed artifact the fleet control plane
+// distributes; see internal/fleet).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"facechange/internal/kernel"
 	"facechange/internal/kview"
@@ -45,7 +52,9 @@ func run() error {
 		summary = flag.Bool("summary", false, "summarize one view (per-space and per-subsystem)")
 		compare = flag.Bool("compare", false, "compare two views (overlap + similarity index)")
 		union   = flag.Bool("union", false, "merge views into one")
-		out     = flag.String("o", "union.view.json", "output file for -union")
+		export  = flag.Bool("export", false, "convert a JSON view to the canonical binary configuration")
+		imprt   = flag.Bool("import", false, "convert a binary configuration back to JSON")
+		out     = flag.String("o", "", "output file (default: union.view.json, or derived from the input for -export/-import)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -96,6 +105,55 @@ func run() error {
 		fmt.Printf("only %-8s %8d KB\n", b.App, onlyB.Size()/1024)
 		return nil
 
+	case *export:
+		if len(args) != 1 {
+			return fmt.Errorf("-export needs exactly one JSON view file")
+		}
+		v, err := load(args[0])
+		if err != nil {
+			return err
+		}
+		data, err := v.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		dst := *out
+		if dst == "" {
+			dst = strings.TrimSuffix(args[0], ".json") + ".kvc"
+		}
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d KB in %d ranges → %s (%d bytes, wire v%d)\n",
+			v.App, v.Size()/1024, v.Len(), dst, len(data), kview.WireVersion)
+		return nil
+
+	case *imprt:
+		if len(args) != 1 {
+			return fmt.Errorf("-import needs exactly one binary configuration file")
+		}
+		raw, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := kview.UnmarshalBinary(raw)
+		if err != nil {
+			return fmt.Errorf("%s: %w", args[0], err)
+		}
+		data, err := v.Marshal()
+		if err != nil {
+			return err
+		}
+		dst := *out
+		if dst == "" {
+			dst = strings.TrimSuffix(args[0], ".kvc") + ".json"
+		}
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d KB in %d ranges → %s\n", v.App, v.Size()/1024, v.Len(), dst)
+		return nil
+
 	case *union:
 		if len(args) < 2 {
 			return fmt.Errorf("-union needs at least two view files")
@@ -113,15 +171,19 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
+		dst := *out
+		if dst == "" {
+			dst = "union.view.json"
+		}
+		if err := os.WriteFile(dst, data, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("union of %d views: %d KB → %s\n", len(views), u.Size()/1024, *out)
+		fmt.Printf("union of %d views: %d KB → %s\n", len(views), u.Size()/1024, dst)
 		return nil
 
 	default:
 		flag.Usage()
-		return fmt.Errorf("pick -summary, -compare or -union")
+		return fmt.Errorf("pick -summary, -compare, -union, -export or -import")
 	}
 }
 

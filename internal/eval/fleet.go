@@ -1,0 +1,277 @@
+// Fleet-scale run: the control-plane experiment the single-machine eval
+// cannot express. One fleet.Server holds the catalog of profiled kernel
+// views; N runtime VMs join as fleet nodes over in-process pipes, delta-
+// sync the catalog through one shared host chunk store, run their
+// workloads under the synced views, and relay telemetry into one central
+// hub. The result quantifies the fleet properties the paper's production
+// story needs: convergence (identical catalog digest on every node),
+// delta-sync savings (later joins transfer fewer bytes and ride the
+// interned-page cache), and hot push (an updated view reaches every node
+// mid-flight).
+package eval
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"facechange"
+	"facechange/internal/apps"
+	"facechange/internal/fleet"
+	"facechange/internal/kview"
+	"facechange/internal/telemetry"
+)
+
+// FleetConfig parameterizes RunFleet.
+type FleetConfig struct {
+	// Nodes is the fleet size (default 4).
+	Nodes int
+	// Apps are the profiled applications whose views seed the catalog
+	// (default apache + gzip); node i runs Apps[i%len(Apps)].
+	Apps []string
+	// Profile controls the per-app profiling sessions.
+	Profile facechange.ProfileConfig
+	// Syscalls bounds each node's runtime workload (default 150).
+	Syscalls int
+	// Budget bounds each node's runtime phase in simulated cycles
+	// (default 2e9).
+	Budget uint64
+	// Hub is the central telemetry hub. One is created (and started) when
+	// nil; either way RunFleet does not close it — the caller may keep
+	// serving /metrics from it after the run.
+	Hub *telemetry.Hub
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *FleetConfig) defaults() {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if len(c.Apps) == 0 {
+		c.Apps = []string{"apache", "gzip"}
+	}
+	if c.Syscalls <= 0 {
+		c.Syscalls = 150
+	}
+	if c.Budget == 0 {
+		c.Budget = 2_000_000_000
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// FleetNodeResult is one node's outcome.
+type FleetNodeResult struct {
+	ID       string `json:"id"`
+	App      string `json:"app"`
+	Digest   string `json:"digest"`
+	Views    int    `json:"views"`
+	BytesIn  uint64 `json:"bytes_in"`
+	BytesOut uint64 `json:"bytes_out"`
+	Syncs    uint64 `json:"syncs"`
+	Retries  uint64 `json:"retries"`
+	Drops    uint64 `json:"telemetry_drops"`
+}
+
+// FleetResult aggregates a fleet run.
+type FleetResult struct {
+	Digest    string            `json:"digest"` // server catalog content digest
+	Views     int               `json:"views"`
+	Converged bool              `json:"converged"`
+	Nodes     []FleetNodeResult `json:"nodes"`
+
+	// Delta-sync evidence: bytes the first and the last sequential join
+	// transferred, and the shared store's interned-page savings.
+	FirstJoinBytes  uint64 `json:"first_join_bytes"`
+	LastJoinBytes   uint64 `json:"last_join_bytes"`
+	DeltaCacheHits  uint64 `json:"delta_cache_hits"`
+	DeltaBytesSaved uint64 `json:"delta_bytes_saved"`
+
+	// Events relayed into the central hub across the whole fleet.
+	Events uint64 `json:"events"`
+
+	// Server stays queryable after the run (catalog, WriteMetrics).
+	Server *fleet.Server `json:"-"`
+}
+
+// Summary renders the run for terminals.
+func (r *FleetResult) Summary() string {
+	s := fmt.Sprintf("fleet: catalog %s (%d views), converged=%v\n", r.Digest, r.Views, r.Converged)
+	for _, n := range r.Nodes {
+		s += fmt.Sprintf("  %-8s app=%-8s digest=%s views=%d in=%dB out=%dB syncs=%d retries=%d\n",
+			n.ID, n.App, n.Digest, n.Views, n.BytesIn, n.BytesOut, n.Syncs, n.Retries)
+	}
+	s += fmt.Sprintf("fleet: delta sync: first join %dB, last join %dB, %d interned-page hits (%dB saved)\n",
+		r.FirstJoinBytes, r.LastJoinBytes, r.DeltaCacheHits, r.DeltaBytesSaved)
+	s += fmt.Sprintf("fleet: %d telemetry events relayed to the central hub\n", r.Events)
+	return s
+}
+
+// RunFleet profiles the configured applications, publishes their views to
+// a control-plane server, joins Nodes runtime VMs sequentially (so the
+// delta-sync saving of each later join is measurable), runs every node's
+// workload under its synced views, hot-pushes a union view mid-fleet, and
+// reports convergence.
+func RunFleet(cfg FleetConfig) (*FleetResult, error) {
+	cfg.defaults()
+
+	// Phase 1: profiling (the catalog's content).
+	cfg.Logf("fleet: profiling %d applications...", len(cfg.Apps))
+	var list []apps.App
+	moduleSet := map[string]bool{}
+	for _, name := range cfg.Apps {
+		app, ok := apps.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("eval: unknown app %q", name)
+		}
+		list = append(list, app)
+		for _, m := range app.Modules {
+			moduleSet[m] = true
+		}
+	}
+	views, err := facechange.ProfileAll(list, cfg.Profile)
+	if err != nil {
+		return nil, fmt.Errorf("eval: fleet profiling: %w", err)
+	}
+	modules := make([]string, 0, len(moduleSet))
+	for m := range moduleSet {
+		modules = append(modules, m)
+	}
+	sort.Strings(modules)
+
+	// Phase 2: control plane.
+	hub := cfg.Hub
+	if hub == nil {
+		hub = telemetry.NewHub(telemetry.HubConfig{})
+		hub.Start()
+	}
+	srv := fleet.NewServer(fleet.ServerConfig{Hub: hub, Logf: cfg.Logf})
+	for _, name := range cfg.Apps {
+		if err := srv.Publish(views[name]); err != nil {
+			return nil, fmt.Errorf("eval: publish %s: %w", name, err)
+		}
+	}
+	dial := func() (net.Conn, error) {
+		c, s := net.Pipe()
+		go srv.ServeConn(s)
+		return c, nil
+	}
+
+	// Phase 3: sequential joins through one shared host chunk store.
+	store := fleet.NewChunkStore()
+	digest := srv.Catalog().Manifest().DigestString()
+	type member struct {
+		node *fleet.Node
+		vm   *facechange.VM
+		app  apps.App
+	}
+	var members []member
+	defer func() {
+		for _, m := range members {
+			m.node.Close()
+		}
+	}()
+	var firstJoin, lastJoin uint64
+	for i := 0; i < cfg.Nodes; i++ {
+		vm, err := facechange.NewVM(facechange.VMConfig{Modules: modules})
+		if err != nil {
+			return nil, fmt.Errorf("eval: node %d: %w", i, err)
+		}
+		n := fleet.NewNode(fleet.NodeConfig{
+			ID:            fmt.Sprintf("node-%d", i),
+			Dial:          dial,
+			Store:         store,
+			Runtime:       vm.Runtime,
+			FlushInterval: 5 * time.Millisecond,
+			Logf:          cfg.Logf,
+		})
+		n.Start()
+		if err := n.WaitDigest(digest, 30*time.Second); err != nil {
+			n.Close()
+			return nil, fmt.Errorf("eval: node %d join: %w", i, err)
+		}
+		in := n.Status().BytesIn
+		if i == 0 {
+			firstJoin = in
+		}
+		lastJoin = in
+		cfg.Logf("fleet: node-%d joined: %d bytes, digest %s", i, in, n.Digest())
+		members = append(members, member{node: n, vm: vm, app: list[i%len(list)]})
+	}
+
+	// Phase 4: per-node workloads under the synced views, concurrently.
+	errs := make(chan error, len(members))
+	for i := range members {
+		m := members[i]
+		go func(seed int64) {
+			m.vm.Runtime.Enable()
+			m.vm.StartApp(m.app, seed, cfg.Syscalls)
+			errs <- m.vm.RunUntilDead(cfg.Budget)
+		}(int64(i) + 1)
+	}
+	for range members {
+		if err := <-errs; err != nil {
+			return nil, fmt.Errorf("eval: fleet workload: %w", err)
+		}
+	}
+
+	// Phase 5: hot push mid-fleet — a union view reaches every node.
+	var all []*kview.View
+	for _, name := range cfg.Apps {
+		all = append(all, views[name])
+	}
+	union := kview.UnionViews("fleetwide", all...)
+	if err := srv.Publish(union); err != nil {
+		return nil, fmt.Errorf("eval: hot push: %w", err)
+	}
+	final := srv.Catalog().Manifest().DigestString()
+	for _, m := range members {
+		if err := m.node.WaitDigest(final, 30*time.Second); err != nil {
+			return nil, fmt.Errorf("eval: hot push convergence: %w", err)
+		}
+	}
+
+	// Drain each node's relay buffer before reading the central counters.
+	for _, m := range members {
+		deadline := time.Now().Add(10 * time.Second)
+		for m.node.Telemetry().Len() > 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	res := &FleetResult{
+		Digest:         final,
+		Views:          len(srv.Catalog().Manifest().Views),
+		Converged:      true,
+		FirstJoinBytes: firstJoin,
+		LastJoinBytes:  lastJoin,
+		Server:         srv,
+	}
+	st := store.Stats()
+	res.DeltaCacheHits = st.Hits
+	res.DeltaBytesSaved = st.BytesSavedTotal
+	for _, m := range members {
+		s := m.node.Status()
+		if s.Digest != final {
+			res.Converged = false
+		}
+		res.Nodes = append(res.Nodes, FleetNodeResult{
+			ID:       s.ID,
+			App:      m.app.Name,
+			Digest:   s.Digest,
+			Views:    s.Views,
+			BytesIn:  s.BytesIn,
+			BytesOut: s.BytesOut,
+			Syncs:    s.Syncs,
+			Retries:  s.Retries,
+			Drops:    s.Drops,
+		})
+		m.node.Close()
+	}
+	members = nil
+	res.Events = hub.Emitted()
+	return res, nil
+}

@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"facechange"
+	"facechange/internal/telemetry"
+)
+
+func TestRunFleetConvergesAndDeltaSyncs(t *testing.T) {
+	hub := telemetry.NewHub(telemetry.HubConfig{})
+	hub.Start()
+	defer hub.Close()
+
+	res, err := RunFleet(FleetConfig{
+		Nodes:    3,
+		Apps:     []string{"apache", "gzip"},
+		Profile:  facechange.ProfileConfig{Syscalls: 120},
+		Syscalls: 60,
+		Hub:      hub,
+	})
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("fleet did not converge: %+v", res)
+	}
+	if len(res.Nodes) != 3 {
+		t.Fatalf("got %d node results, want 3", len(res.Nodes))
+	}
+	// Every node ends on the server's catalog digest, including the
+	// hot-pushed fleetwide union (apache + gzip + union = 3 views).
+	if res.Views != 3 {
+		t.Errorf("catalog has %d views, want 3", res.Views)
+	}
+	for _, n := range res.Nodes {
+		if n.Digest != res.Digest {
+			t.Errorf("%s digest %s != catalog %s", n.ID, n.Digest, res.Digest)
+		}
+		if n.Views != res.Views {
+			t.Errorf("%s loaded %d views, want %d", n.ID, n.Views, res.Views)
+		}
+		if n.Drops != 0 {
+			t.Errorf("%s dropped %d telemetry events", n.ID, n.Drops)
+		}
+		if n.Syncs < 2 {
+			t.Errorf("%s completed %d syncs, want >= 2 (join + hot push)", n.ID, n.Syncs)
+		}
+	}
+	// Sequential joins through the shared chunk store: later joins must
+	// transfer strictly fewer bytes and ride the interned-page cache.
+	if res.LastJoinBytes >= res.FirstJoinBytes {
+		t.Errorf("last join %dB not smaller than first join %dB",
+			res.LastJoinBytes, res.FirstJoinBytes)
+	}
+	if res.DeltaCacheHits == 0 || res.DeltaBytesSaved == 0 {
+		t.Errorf("delta sync saved nothing (hits=%d saved=%dB)",
+			res.DeltaCacheHits, res.DeltaBytesSaved)
+	}
+	if res.Events == 0 {
+		t.Error("no telemetry events reached the central hub")
+	}
+	// The summary carries one digest= line per node for smoke greps.
+	if got := strings.Count(res.Summary(), "digest="); got != 3 {
+		t.Errorf("summary has %d digest= lines, want 3", got)
+	}
+	// The server stays queryable for /metrics after the run.
+	if res.Server == nil {
+		t.Fatal("result lacks the server handle")
+	}
+	var sb strings.Builder
+	res.Server.WriteMetrics(telemetry.NewMetricsWriter(&sb))
+	if !strings.Contains(sb.String(), "facechange_fleet_catalog_views 3") {
+		t.Errorf("server metrics missing catalog gauge:\n%s", sb.String())
+	}
+}

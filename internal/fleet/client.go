@@ -1,0 +1,629 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"facechange/internal/core"
+	"facechange/internal/kview"
+	"facechange/internal/telemetry"
+)
+
+// ErrClosed is returned by operations on a node after Close.
+var ErrClosed = errors.New("fleet: node closed")
+
+// wantBatch bounds one Want request so a large catalog streams in
+// several round trips instead of one giant frame.
+const wantBatch = 64
+
+// NodeConfig parameterizes a fleet node.
+type NodeConfig struct {
+	// ID identifies the node to the server (and stamps its telemetry).
+	ID string
+	// Dial establishes one control-plane connection (TCPDialer, or a
+	// net.Pipe injector in tests).
+	Dial func() (net.Conn, error)
+	// Store is the host-level chunk store shared by co-located nodes. A
+	// private store is created when nil.
+	Store *ChunkStore
+	// Runtime, when non-nil, receives synced views via LoadView/AssignView
+	// (and UnloadView on removal or replacement), and its telemetry is
+	// relayed to the server.
+	Runtime *core.Runtime
+	// ReadTimeout bounds each handshake or request round trip (default 5s).
+	// The idle wait for push notices is unbounded.
+	ReadTimeout time.Duration
+	// Backoff shapes the reconnect schedule.
+	Backoff BackoffConfig
+	// FlushInterval paces telemetry relay batches (default 50ms).
+	FlushInterval time.Duration
+	// TelemetryBuf caps the relay buffer (default
+	// telemetry.DefaultRemoteBufferSize).
+	TelemetryBuf int
+	// Logf, when non-nil, receives node lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+// loadedView tracks one view the node has applied to its runtime.
+type loadedView struct {
+	idx    int
+	digest Hash
+}
+
+// Node is one fleet runtime's control-plane client. It keeps a session to
+// the server (reconnecting with exponential backoff and jitter), delta-
+// syncs the view catalog through the shared ChunkStore, applies changes to
+// its runtime, and relays the runtime's telemetry. A sync commits
+// atomically: until every chunk of the new catalog is resident, verified
+// and applied, the node keeps serving its previous complete catalog.
+type Node struct {
+	cfg   NodeConfig
+	store *ChunkStore
+	buf   *telemetry.RemoteBuffer
+	logf  func(string, ...any)
+
+	mu        sync.Mutex
+	conn      net.Conn // live session conn, for Close to interrupt
+	refs      map[Hash]struct{}
+	loaded    map[string]loadedView
+	last      Manifest // last completely synced catalog
+	connected bool
+	lastErr   error
+
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
+	syncs    atomic.Uint64
+	retries  atomic.Uint64
+
+	done    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+	closed  sync.Once
+}
+
+// NewNode creates a node. When cfg.Runtime is set, the runtime's telemetry
+// emitter is pointed at the node's relay buffer.
+func NewNode(cfg NodeConfig) *Node {
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 5 * time.Second
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 50 * time.Millisecond
+	}
+	if cfg.TelemetryBuf <= 0 {
+		cfg.TelemetryBuf = telemetry.DefaultRemoteBufferSize
+	}
+	if cfg.Store == nil {
+		cfg.Store = NewChunkStore()
+	}
+	n := &Node{
+		cfg:    cfg,
+		store:  cfg.Store,
+		buf:    telemetry.NewRemoteBuffer(cfg.TelemetryBuf),
+		logf:   cfg.Logf,
+		refs:   make(map[Hash]struct{}),
+		loaded: make(map[string]loadedView),
+		done:   make(chan struct{}),
+	}
+	if n.logf == nil {
+		n.logf = func(string, ...any) {}
+	}
+	if cfg.Runtime != nil {
+		cfg.Runtime.SetEmitter(n.buf)
+	}
+	return n
+}
+
+// Telemetry returns the node's relay buffer (its runtime's emitter).
+func (n *Node) Telemetry() *telemetry.RemoteBuffer { return n.buf }
+
+// Start launches the connection loop.
+func (n *Node) Start() {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.run()
+}
+
+// Close ends the session, stops reconnecting and releases every chunk
+// reference the node holds. Views already applied to the runtime stay
+// loaded — shutting down the control plane must not disturb a serving
+// runtime. The session gets a short grace window to flush any buffered
+// telemetry before its connection is forced shut, so a clean shutdown
+// loses no events.
+func (n *Node) Close() {
+	n.closed.Do(func() {
+		close(n.done)
+		n.mu.Lock()
+		if n.conn != nil {
+			// Deadline rather than Close: the session's teardown path runs a
+			// final telemetry flush, then closes the conn itself. The
+			// deadline is only the backstop against a wedged peer.
+			n.conn.SetDeadline(time.Now().Add(500 * time.Millisecond))
+		}
+		n.mu.Unlock()
+		n.wg.Wait()
+		n.mu.Lock()
+		for h := range n.refs {
+			n.store.Unref(h)
+		}
+		n.refs = make(map[Hash]struct{})
+		n.mu.Unlock()
+	})
+}
+
+// Manifest returns the last completely synced catalog.
+func (n *Node) Manifest() Manifest {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.last
+}
+
+// Digest returns the content digest of the last complete catalog.
+func (n *Node) Digest() string { return n.Manifest().DigestString() }
+
+// NodeStatus is a point-in-time snapshot of a node.
+type NodeStatus struct {
+	ID        string
+	Connected bool
+	Gen       uint64
+	Digest    string
+	Views     int
+	Syncs     uint64
+	Retries   uint64
+	BytesIn   uint64
+	BytesOut  uint64
+	Drops     uint64
+	LastErr   string
+}
+
+// Status snapshots the node.
+func (n *Node) Status() NodeStatus {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := NodeStatus{
+		ID:        n.cfg.ID,
+		Connected: n.connected,
+		Gen:       n.last.Gen,
+		Digest:    n.last.DigestString(),
+		Views:     len(n.last.Views),
+		Syncs:     n.syncs.Load(),
+		Retries:   n.retries.Load(),
+		BytesIn:   n.bytesIn.Load(),
+		BytesOut:  n.bytesOut.Load(),
+		Drops:     n.buf.Drops(),
+	}
+	if n.lastErr != nil {
+		st.LastErr = n.lastErr.Error()
+	}
+	return st
+}
+
+// WaitDigest blocks until the node's last complete catalog matches the
+// given content digest, or the timeout passes.
+func (n *Node) WaitDigest(digest string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if n.Digest() == digest {
+			return nil
+		}
+		select {
+		case <-n.done:
+			return ErrClosed
+		default:
+		}
+		if time.Now().After(deadline) {
+			return errProto("node %q: digest %s after %v (want %s)", n.cfg.ID, n.Digest(), timeout, digest)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// run is the reconnect loop: dial, run a session, and on failure retry
+// with exponential backoff plus jitter. The last complete catalog keeps
+// serving throughout outages.
+func (n *Node) run() {
+	defer n.wg.Done()
+	bo := newBackoff(n.cfg.Backoff, n.cfg.ID)
+	for {
+		select {
+		case <-n.done:
+			return
+		default:
+		}
+		conn, err := n.cfg.Dial()
+		if err == nil {
+			err = n.session(conn)
+			bo.reset()
+		}
+		n.mu.Lock()
+		n.connected = false
+		n.conn = nil
+		if err != nil {
+			n.lastErr = err
+		}
+		n.mu.Unlock()
+		select {
+		case <-n.done:
+			return
+		default:
+		}
+		n.retries.Add(1)
+		d := bo.delay()
+		n.logf("fleet: node %q: session ended (%v), retrying in %v", n.cfg.ID, err, d)
+		select {
+		case <-n.done:
+			return
+		case <-time.After(d):
+		}
+	}
+}
+
+// session is one connected epoch: handshake, initial sync, then serve
+// push notices and relay telemetry until the connection dies.
+type session struct {
+	node    *Node
+	conn    net.Conn
+	writeMu sync.Mutex
+	frames  chan frame
+	readErr error
+	pending bool // an update notice arrived while a round trip was in flight
+}
+
+func (n *Node) session(raw net.Conn) error {
+	conn := &countingConn{Conn: raw, in: &n.bytesIn, out: &n.bytesOut}
+	defer raw.Close()
+	n.mu.Lock()
+	select {
+	case <-n.done:
+		n.mu.Unlock()
+		return ErrClosed
+	default:
+	}
+	n.conn = raw
+	n.mu.Unlock()
+
+	s := &session{node: n, conn: conn, frames: make(chan frame, 64)}
+	if err := s.write(msgHello, encodeHello(n.cfg.ID)); err != nil {
+		return err
+	}
+	// The handshake is the only read outside the read loop; bound it.
+	raw.SetReadDeadline(time.Now().Add(n.cfg.ReadTimeout))
+	f, err := readFrame(conn)
+	raw.SetReadDeadline(time.Time{})
+	if err != nil {
+		return err
+	}
+	if f.typ == msgError {
+		r := &wireReader{b: f.payload}
+		msg, _ := r.str()
+		return errProto("server rejected session: %s", msg)
+	}
+	if f.typ != msgHelloAck {
+		return errProto("expected hello-ack, got %s", msgName(f.typ))
+	}
+	proto, manifest, err := decodeHelloAck(f.payload)
+	if err != nil {
+		return err
+	}
+	if proto != ProtoVersion {
+		return errProto("server speaks protocol %d (node speaks %d)", proto, ProtoVersion)
+	}
+	n.mu.Lock()
+	n.connected = true
+	n.lastErr = nil
+	n.mu.Unlock()
+	n.logf("fleet: node %q: connected (catalog gen %d, %d views)", n.cfg.ID, manifest.Gen, len(manifest.Views))
+
+	// Dedicated read loop: the only reader after the handshake. It always
+	// drains the conn into a buffered channel, so a server interleaving a
+	// push notice with a response never deadlocks an unbuffered transport
+	// (net.Pipe) against our own pending write.
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			f, err := readFrame(conn)
+			if err != nil {
+				s.readErr = err
+				close(s.frames)
+				return
+			}
+			select {
+			case s.frames <- f:
+			case <-n.done:
+				s.readErr = ErrClosed
+				close(s.frames)
+				return
+			}
+		}
+	}()
+	defer readers.Wait()
+	defer raw.Close() // unblocks the read loop before readers.Wait
+
+	// Telemetry flusher: ships buffered runtime events in batches.
+	flusher := make(chan struct{})
+	var flushers sync.WaitGroup
+	flushers.Add(1)
+	go func() {
+		defer flushers.Done()
+		tick := time.NewTicker(n.cfg.FlushInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-flusher:
+				s.flushTelemetry() // final flush so a clean teardown loses nothing
+				return
+			case <-n.done:
+				s.flushTelemetry()
+				return
+			case <-tick.C:
+				s.flushTelemetry()
+			}
+		}
+	}()
+	defer flushers.Wait()
+	defer close(flusher)
+
+	if err := s.sync(manifest); err != nil {
+		return err
+	}
+	for {
+		if s.pending {
+			s.pending = false
+			if err := s.resync(); err != nil {
+				return err
+			}
+			continue
+		}
+		select {
+		case <-n.done:
+			return ErrClosed
+		case f, ok := <-s.frames:
+			if !ok {
+				return s.readErr
+			}
+			switch f.typ {
+			case msgUpdate:
+				if _, err := decodeUpdate(f.payload); err != nil {
+					return err
+				}
+				if err := s.resync(); err != nil {
+					return err
+				}
+			case msgError:
+				r := &wireReader{b: f.payload}
+				msg, _ := r.str()
+				return errProto("server error: %s", msg)
+			default:
+				return errProto("unexpected %s", msgName(f.typ))
+			}
+		}
+	}
+}
+
+// write sends one frame under the session's write lock (requests and
+// telemetry batches interleave on the same conn).
+func (s *session) write(typ byte, payload []byte) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return writeFrame(s.conn, typ, payload)
+}
+
+// await reads frames until one of the wanted type arrives, stashing push
+// notices that interleave with the response. Bounded by ReadTimeout.
+func (s *session) await(want byte) (frame, error) {
+	timer := time.NewTimer(s.node.cfg.ReadTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.node.done:
+			return frame{}, ErrClosed
+		case f, ok := <-s.frames:
+			if !ok {
+				return frame{}, s.readErr
+			}
+			switch f.typ {
+			case want:
+				return f, nil
+			case msgUpdate:
+				s.pending = true
+			case msgError:
+				r := &wireReader{b: f.payload}
+				msg, _ := r.str()
+				return frame{}, errProto("server error: %s", msg)
+			default:
+				return frame{}, errProto("expected %s, got %s", msgName(want), msgName(f.typ))
+			}
+		case <-timer.C:
+			return frame{}, errProto("timed out awaiting %s", msgName(want))
+		}
+	}
+}
+
+func (s *session) flushTelemetry() {
+	for {
+		// Peek/commit rather than take: events leave the buffer only after
+		// the wire write succeeded, so a session dying mid-flush loses
+		// nothing — the next session re-sends the same batch.
+		batch := s.node.buf.PeekBatch(256)
+		if len(batch) == 0 {
+			return
+		}
+		payload, err := telemetry.EncodeBatch(batch)
+		if err == nil {
+			err = s.write(msgTelemetry, payload)
+		}
+		if err != nil {
+			return
+		}
+		s.node.buf.Commit(len(batch))
+	}
+}
+
+// resync pulls the current manifest and syncs to it.
+func (s *session) resync() error {
+	if err := s.write(msgGetCatalog, nil); err != nil {
+		return err
+	}
+	f, err := s.await(msgCatalog)
+	if err != nil {
+		return err
+	}
+	m, err := decodeManifest(f.payload)
+	if err != nil {
+		return err
+	}
+	return s.sync(m)
+}
+
+// sync brings the node to the given catalog: reference every chunk already
+// resident in the shared store (the delta-sync fast path — an interned-page
+// cache hit, no bytes on the wire), download only the missing ones, verify
+// and decode every view, apply the changes to the runtime, and only then
+// commit the manifest as the node's catalog. A failure anywhere leaves the
+// previous complete catalog in place; chunk references taken so far are
+// kept so the eventual resume transfers only what is still missing.
+func (s *session) sync(m Manifest) error {
+	n := s.node
+	needed := m.ChunkSet()
+
+	var want []Hash
+	n.mu.Lock()
+	for h := range needed {
+		if _, ok := n.refs[h]; ok {
+			continue
+		}
+		if n.store.Ref(h) {
+			n.refs[h] = struct{}{}
+		} else {
+			want = append(want, h)
+		}
+	}
+	n.mu.Unlock()
+
+	for len(want) > 0 {
+		batch := want[:min(len(want), wantBatch)]
+		want = want[len(batch):]
+		if err := s.write(msgWant, encodeWant(batch)); err != nil {
+			return err
+		}
+		f, err := s.await(msgChunks)
+		if err != nil {
+			return err
+		}
+		chunks, err := decodeChunks(f.payload)
+		if err != nil {
+			return err
+		}
+		got := make(map[Hash]struct{}, len(chunks))
+		for _, ch := range chunks {
+			if sha256.Sum256(ch.Data) != ch.Hash {
+				return errProto("chunk content does not match its hash")
+			}
+			if _, ok := needed[ch.Hash]; !ok {
+				return errProto("server sent unrequested chunk")
+			}
+			if _, err := n.store.Put(ch.Data); err != nil {
+				return err
+			}
+			n.mu.Lock()
+			if _, dup := n.refs[ch.Hash]; dup {
+				// Already referenced (concurrent path); drop the extra ref.
+				n.store.Unref(ch.Hash)
+			} else {
+				n.refs[ch.Hash] = struct{}{}
+			}
+			n.mu.Unlock()
+			got[ch.Hash] = struct{}{}
+		}
+		for _, h := range batch {
+			if _, ok := got[h]; !ok {
+				// The server no longer has this chunk: a publish raced our
+				// manifest. Abort this sync; the pending update notice (or
+				// reconnect) re-syncs against the newer catalog.
+				return errProto("server is missing a catalog chunk (catalog moved); re-syncing")
+			}
+		}
+	}
+
+	// Assemble and decode every view before touching the runtime.
+	views := make([]*kview.View, len(m.Views))
+	for i, vm := range m.Views {
+		v, err := AssembleView(vm, n.store.Get)
+		if err != nil {
+			return err
+		}
+		views[i] = v
+	}
+
+	// Apply: load new or changed views, retire removed or replaced ones.
+	if rt := n.cfg.Runtime; rt != nil {
+		inManifest := make(map[string]struct{}, len(m.Views))
+		for i, vm := range m.Views {
+			inManifest[vm.Name] = struct{}{}
+			n.mu.Lock()
+			cur, ok := n.loaded[vm.Name]
+			n.mu.Unlock()
+			if ok && cur.digest == vm.Digest {
+				continue
+			}
+			idx, err := rt.LoadView(views[i])
+			if err != nil {
+				return err
+			}
+			if err := rt.AssignView(vm.Name, idx); err != nil {
+				return err
+			}
+			if ok {
+				if err := rt.UnloadView(cur.idx); err != nil {
+					return err
+				}
+			}
+			n.mu.Lock()
+			n.loaded[vm.Name] = loadedView{idx: idx, digest: vm.Digest}
+			n.mu.Unlock()
+		}
+		n.mu.Lock()
+		stale := make(map[string]loadedView)
+		for name, lv := range n.loaded {
+			if _, ok := inManifest[name]; !ok {
+				stale[name] = lv
+			}
+		}
+		n.mu.Unlock()
+		for name, lv := range stale {
+			if err := rt.UnloadView(lv.idx); err != nil {
+				return err
+			}
+			n.mu.Lock()
+			delete(n.loaded, name)
+			n.mu.Unlock()
+		}
+	}
+
+	// Commit: the new catalog becomes the node's catalog, and references on
+	// chunks it no longer needs are released.
+	n.mu.Lock()
+	for h := range n.refs {
+		if _, ok := needed[h]; !ok {
+			n.store.Unref(h)
+			delete(n.refs, h)
+		}
+	}
+	n.last = m
+	n.mu.Unlock()
+	n.syncs.Add(1)
+	n.logf("fleet: node %q: synced catalog gen %d (%d views, digest %s)", n.cfg.ID, m.Gen, len(m.Views), m.DigestString())
+	return nil
+}

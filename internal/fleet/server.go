@@ -1,0 +1,270 @@
+package fleet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"facechange/internal/kview"
+	"facechange/internal/telemetry"
+)
+
+// ServerConfig parameterizes a control-plane server.
+type ServerConfig struct {
+	// Catalog is the canonical view catalog (a fresh one when nil).
+	Catalog *Catalog
+	// Hub, when non-nil, receives every node's relayed telemetry stream,
+	// stamped with the node's identity — the fleet-wide event pipeline.
+	Hub *telemetry.Hub
+	// Logf, when non-nil, receives connection lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+// Server is the control plane: it owns the catalog, serves the sync
+// protocol to any number of nodes, pushes generation notices on publish,
+// and fans node telemetry into the central hub.
+type Server struct {
+	catalog *Catalog
+	hub     *telemetry.Hub
+	logf    func(string, ...any)
+
+	mu    sync.Mutex
+	conns map[*serverConn]struct{}
+
+	// Counters (exposed on /metrics via WriteMetrics).
+	chunksServed  atomic.Uint64
+	chunkBytes    atomic.Uint64
+	eventsRelayed atomic.Uint64
+	batches       atomic.Uint64
+	sessions      atomic.Uint64
+}
+
+// NewServer creates a server.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Catalog == nil {
+		cfg.Catalog = NewCatalog()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{
+		catalog: cfg.Catalog,
+		hub:     cfg.Hub,
+		logf:    cfg.Logf,
+		conns:   make(map[*serverConn]struct{}),
+	}
+}
+
+// Catalog returns the server's catalog.
+func (s *Server) Catalog() *Catalog { return s.catalog }
+
+// Publish (re)registers a view in the catalog and hot-pushes a generation
+// notice to every connected node.
+func (s *Server) Publish(v *kview.View) error {
+	old := s.catalog.Gen()
+	gen, err := s.catalog.Put(v)
+	if err != nil {
+		return err
+	}
+	if gen != old {
+		s.notifyAll(gen)
+	}
+	return nil
+}
+
+// Remove unregisters a view and pushes the change.
+func (s *Server) Remove(name string) bool {
+	gen, ok := s.catalog.Remove(name)
+	if ok {
+		s.notifyAll(gen)
+	}
+	return ok
+}
+
+func (s *Server) notifyAll(gen uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		c.notify(gen)
+	}
+}
+
+// Nodes returns the number of connected nodes.
+func (s *Server) Nodes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Serve accepts connections until the listener closes, handling each in
+// its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn runs the protocol on one established connection (the in-proc
+// entry point for net.Pipe fleets) and blocks until it ends. The server
+// closes the conn on exit.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.sessions.Add(1)
+	c := &serverConn{srv: s, conn: conn, updates: make(chan uint64, 1)}
+	defer conn.Close()
+
+	if err := c.handshake(); err != nil {
+		s.logf("fleet: server: handshake: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	s.logf("fleet: server: node %q joined", c.nodeID)
+
+	// The pusher forwards publish notices; it owns no state and exits when
+	// the updates channel closes after the read loop ends.
+	var pushers sync.WaitGroup
+	pushers.Add(1)
+	go func() {
+		defer pushers.Done()
+		for gen := range c.updates {
+			if err := c.write(msgUpdate, encodeUpdate(gen)); err != nil {
+				return
+			}
+		}
+	}()
+
+	err := c.readLoop()
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	close(c.updates)
+	pushers.Wait()
+	if err != nil {
+		s.logf("fleet: server: node %q left: %v", c.nodeID, err)
+	}
+}
+
+// WriteMetrics implements telemetry.MetricSource: control-plane health for
+// the fleet-wide /metrics endpoint.
+func (s *Server) WriteMetrics(w *telemetry.Writer) {
+	w.Gauge("facechange_fleet_nodes_connected", "nodes with a live control-plane session", float64(s.Nodes()))
+	w.Gauge("facechange_fleet_catalog_generation", "catalog mutation generation", float64(s.catalog.Gen()))
+	w.Gauge("facechange_fleet_catalog_views", "views in the canonical catalog", float64(len(s.catalog.Manifest().Views)))
+	w.Counter("facechange_fleet_sessions_total", "node sessions accepted", float64(s.sessions.Load()))
+	w.Counter("facechange_fleet_chunks_served_total", "content-addressed chunks served", float64(s.chunksServed.Load()))
+	w.Counter("facechange_fleet_chunk_bytes_total", "chunk payload bytes served", float64(s.chunkBytes.Load()))
+	w.Counter("facechange_fleet_telemetry_batches_total", "node telemetry batches relayed", float64(s.batches.Load()))
+	w.Counter("facechange_fleet_telemetry_events_total", "node telemetry events relayed into the hub", float64(s.eventsRelayed.Load()))
+}
+
+// serverConn is one node session.
+type serverConn struct {
+	srv    *Server
+	conn   net.Conn
+	nodeID string
+
+	writeMu sync.Mutex
+	updates chan uint64
+}
+
+// write sends one frame under the connection's write lock (responses and
+// pushes interleave on the same conn).
+func (c *serverConn) write(typ byte, payload []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return writeFrame(c.conn, typ, payload)
+}
+
+// notify enqueues a generation notice, collapsing bursts: the channel
+// holds one pending notice and the newest generation wins.
+func (c *serverConn) notify(gen uint64) {
+	for {
+		select {
+		case c.updates <- gen:
+			return
+		default:
+			select {
+			case <-c.updates:
+			default:
+			}
+		}
+	}
+}
+
+// handshake expects Hello and answers HelloAck carrying the full manifest
+// (saving the common case a round trip).
+func (c *serverConn) handshake() error {
+	f, err := readFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	if f.typ != msgHello {
+		return errProto("expected hello, got %s", msgName(f.typ))
+	}
+	proto, nodeID, err := decodeHello(f.payload)
+	if err != nil {
+		return err
+	}
+	if proto != ProtoVersion {
+		_ = c.write(msgError, appendStr(nil, errProto("protocol version %d unsupported (server speaks %d)", proto, ProtoVersion).Error()))
+		return errProto("node %q speaks protocol %d", nodeID, proto)
+	}
+	c.nodeID = nodeID
+	return c.write(msgHelloAck, encodeHelloAck(c.srv.catalog.Manifest()))
+}
+
+// readLoop serves requests until the connection errors or closes.
+func (c *serverConn) readLoop() error {
+	for {
+		f, err := readFrame(c.conn)
+		if err != nil {
+			return err
+		}
+		switch f.typ {
+		case msgGetCatalog:
+			if err := c.write(msgCatalog, encodeManifest(c.srv.catalog.Manifest())); err != nil {
+				return err
+			}
+		case msgWant:
+			hashes, err := decodeWant(f.payload)
+			if err != nil {
+				return err
+			}
+			chunks := make([]Chunk, 0, len(hashes))
+			for _, h := range hashes {
+				if data, ok := c.srv.catalog.Chunk(h); ok {
+					chunks = append(chunks, Chunk{Hash: h, Data: data})
+					c.srv.chunksServed.Add(1)
+					c.srv.chunkBytes.Add(uint64(len(data)))
+				}
+			}
+			// Absent hashes (a publish raced the manifest) are simply not
+			// included; the node detects the gap and re-syncs against the
+			// newer manifest it is about to be notified of.
+			if err := c.write(msgChunks, encodeChunks(chunks)); err != nil {
+				return err
+			}
+		case msgTelemetry:
+			evs, err := telemetry.DecodeBatch(f.payload)
+			if err != nil {
+				return err
+			}
+			c.srv.batches.Add(1)
+			c.srv.eventsRelayed.Add(uint64(len(evs)))
+			if c.srv.hub != nil {
+				telemetry.ReplayInto(c.srv.hub, c.nodeID, evs)
+			}
+		default:
+			return errProto("unexpected %s from node %q", msgName(f.typ), c.nodeID)
+		}
+	}
+}

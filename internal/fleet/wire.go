@@ -1,0 +1,307 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire framing: every message is one length-prefixed frame,
+//
+//	u32 length | u8 type | payload        (length = 1 + len(payload))
+//
+// big-endian throughout, matching the kview binary configuration format
+// the catalog payloads embed. Frames are bounded by maxFrame so a corrupt
+// or hostile peer cannot make the other side allocate unboundedly.
+
+// maxFrame bounds one frame's length field (16 MiB — a full catalog
+// manifest for thousands of views fits with two orders of magnitude to
+// spare).
+const maxFrame = 16 << 20
+
+// Message types. Client→server: hello, getCatalog, want, telemetry.
+// Server→client: helloAck, catalog (response and hot-push), chunks,
+// update (generation notice), errorMsg (terminal).
+const (
+	msgHello      = 0x01
+	msgHelloAck   = 0x02
+	msgGetCatalog = 0x03
+	msgCatalog    = 0x04
+	msgWant       = 0x05
+	msgChunks     = 0x06
+	msgTelemetry  = 0x07
+	msgUpdate     = 0x08
+	msgError      = 0x3f
+)
+
+func msgName(t byte) string {
+	switch t {
+	case msgHello:
+		return "hello"
+	case msgHelloAck:
+		return "hello-ack"
+	case msgGetCatalog:
+		return "get-catalog"
+	case msgCatalog:
+		return "catalog"
+	case msgWant:
+		return "want"
+	case msgChunks:
+		return "chunks"
+	case msgTelemetry:
+		return "telemetry"
+	case msgUpdate:
+		return "update"
+	case msgError:
+		return "error"
+	}
+	return fmt.Sprintf("msg(%#x)", t)
+}
+
+// frame is one decoded message.
+type frame struct {
+	typ     byte
+	payload []byte
+}
+
+// writeFrame writes one frame. Callers serialize writes per connection
+// (both ends multiplex pushes and responses over one conn).
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if 1+len(payload) > maxFrame {
+		return errProto("frame %s too large: %d bytes", msgName(typ), len(payload))
+	}
+	hdr := make([]byte, 5)
+	binary.BigEndian.PutUint32(hdr, uint32(1+len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 || n > maxFrame {
+		return frame{}, errProto("bad frame length %d", n)
+	}
+	payload := make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return frame{}, err
+	}
+	return frame{typ: hdr[4], payload: payload}, nil
+}
+
+// --- payload primitives (shared cursor style with kview's wire codec) ---
+
+const maxWireStr = 4096
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+type wireReader struct{ b []byte }
+
+func (r *wireReader) u16() (uint16, error) {
+	if len(r.b) < 2 {
+		return 0, errProto("truncated payload")
+	}
+	v := binary.BigEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v, nil
+}
+
+func (r *wireReader) u32() (uint32, error) {
+	if len(r.b) < 4 {
+		return 0, errProto("truncated payload")
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v, nil
+}
+
+func (r *wireReader) u64() (uint64, error) {
+	if len(r.b) < 8 {
+		return 0, errProto("truncated payload")
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v, nil
+}
+
+func (r *wireReader) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > maxWireStr || len(r.b) < int(n) {
+		return "", errProto("bad string length %d", n)
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s, nil
+}
+
+func (r *wireReader) hash() (Hash, error) {
+	var h Hash
+	if len(r.b) < len(h) {
+		return h, errProto("truncated hash")
+	}
+	copy(h[:], r.b)
+	r.b = r.b[len(h):]
+	return h, nil
+}
+
+func (r *wireReader) bytes(n int) ([]byte, error) {
+	if n < 0 || len(r.b) < n {
+		return nil, errProto("truncated payload (%d bytes wanted, %d left)", n, len(r.b))
+	}
+	out := r.b[:n:n]
+	r.b = r.b[n:]
+	return out, nil
+}
+
+func (r *wireReader) end() error {
+	if len(r.b) != 0 {
+		return errProto("%d trailing payload bytes", len(r.b))
+	}
+	return nil
+}
+
+// Hash is a sha256 content address (chunks, view encodings, manifests).
+type Hash = [sha256.Size]byte
+
+// --- message payloads ---
+
+// helloPayload: u8 proto | str nodeID.
+func encodeHello(nodeID string) []byte {
+	b := []byte{ProtoVersion}
+	return appendStr(b, nodeID)
+}
+
+func decodeHello(p []byte) (proto byte, nodeID string, err error) {
+	if len(p) < 1 {
+		return 0, "", errProto("empty hello")
+	}
+	r := &wireReader{b: p[1:]}
+	id, err := r.str()
+	if err != nil {
+		return 0, "", err
+	}
+	if err := r.end(); err != nil {
+		return 0, "", err
+	}
+	return p[0], id, nil
+}
+
+// helloAckPayload: u8 proto | manifest.
+func encodeHelloAck(m Manifest) []byte {
+	return append([]byte{ProtoVersion}, encodeManifest(m)...)
+}
+
+func decodeHelloAck(p []byte) (proto byte, m Manifest, err error) {
+	if len(p) < 1 {
+		return 0, Manifest{}, errProto("empty hello-ack")
+	}
+	m, err = decodeManifest(p[1:])
+	return p[0], m, err
+}
+
+// wantPayload: u32 n | n × hash.
+func encodeWant(hashes []Hash) []byte {
+	b := binary.BigEndian.AppendUint32(nil, uint32(len(hashes)))
+	for _, h := range hashes {
+		b = append(b, h[:]...)
+	}
+	return b
+}
+
+func decodeWant(p []byte) ([]Hash, error) {
+	r := &wireReader{b: p}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n)*sha256.Size > uint64(len(r.b)) {
+		return nil, errProto("want claims %d hashes, %d bytes left", n, len(r.b))
+	}
+	out := make([]Hash, 0, n)
+	for i := uint32(0); i < n; i++ {
+		h, err := r.hash()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, h)
+	}
+	return out, r.end()
+}
+
+// Chunk is one content-addressed piece of a view encoding on the wire.
+type Chunk struct {
+	Hash Hash
+	Data []byte
+}
+
+// chunksPayload: u32 n | n × (hash | u32 len | bytes).
+func encodeChunks(chunks []Chunk) []byte {
+	var b []byte
+	b = binary.BigEndian.AppendUint32(b, uint32(len(chunks)))
+	for _, c := range chunks {
+		b = append(b, c.Hash[:]...)
+		b = binary.BigEndian.AppendUint32(b, uint32(len(c.Data)))
+		b = append(b, c.Data...)
+	}
+	return b
+}
+
+func decodeChunks(p []byte) ([]Chunk, error) {
+	r := &wireReader{b: p}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Chunk, 0, min(int(n), 1024))
+	for i := uint32(0); i < n; i++ {
+		h, err := r.hash()
+		if err != nil {
+			return nil, err
+		}
+		ln, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		data, err := r.bytes(int(ln))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Chunk{Hash: h, Data: data})
+	}
+	return out, r.end()
+}
+
+// updatePayload: u64 gen. A notice, not the catalog itself: the node pulls
+// the manifest when it is ready, so a burst of publishes collapses into
+// one re-sync.
+func encodeUpdate(gen uint64) []byte {
+	return binary.BigEndian.AppendUint64(nil, gen)
+}
+
+func decodeUpdate(p []byte) (uint64, error) {
+	r := &wireReader{b: p}
+	gen, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	return gen, r.end()
+}

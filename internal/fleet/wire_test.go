@@ -1,0 +1,239 @@
+package fleet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+	"time"
+
+	"facechange/internal/kview"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello fleet")
+	if err := writeFrame(&buf, msgCatalog, payload); err != nil {
+		t.Fatal(err)
+	}
+	f, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.typ != msgCatalog || !bytes.Equal(f.payload, payload) {
+		t.Fatalf("got type %s payload %q", msgName(f.typ), f.payload)
+	}
+}
+
+func TestFrameRejectsBadLength(t *testing.T) {
+	// Zero-length frame.
+	if _, err := readFrame(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	// Oversized frame header.
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := readFrame(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if err := writeFrame(&bytes.Buffer{}, msgChunks, make([]byte, maxFrame)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	proto, id, err := decodeHello(encodeHello("node-7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proto != ProtoVersion || id != "node-7" {
+		t.Fatalf("got proto %d id %q", proto, id)
+	}
+	if _, _, err := decodeHello(nil); err == nil {
+		t.Fatal("empty hello accepted")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	v := testView("apache", 1500, 0)
+	data, err := v.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := SplitChunks(data)
+	if len(chunks) < 2 {
+		t.Fatalf("test view should span several chunks, got %d", len(chunks))
+	}
+	vm := ViewManifest{Name: "apache", Digest: sha256.Sum256(data), Size: uint64(len(data))}
+	for _, c := range chunks {
+		vm.Chunks = append(vm.Chunks, c.Hash)
+	}
+	m := Manifest{Gen: 42, Views: []ViewManifest{vm}}
+	got, err := decodeManifest(encodeManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Gen != 42 || len(got.Views) != 1 || got.Views[0].Name != "apache" ||
+		got.Views[0].Size != vm.Size || len(got.Views[0].Chunks) != len(vm.Chunks) {
+		t.Fatalf("manifest mangled: %+v", got)
+	}
+	if got.Digest() != m.Digest() {
+		t.Fatal("content digest changed across codec")
+	}
+}
+
+func TestManifestRejectsUnsortedAndBadChunkCount(t *testing.T) {
+	a := ViewManifest{Name: "b", Digest: Hash{1}, Size: 10, Chunks: []Hash{{2}}}
+	b := ViewManifest{Name: "a", Digest: Hash{3}, Size: 10, Chunks: []Hash{{4}}}
+	if _, err := decodeManifest(encodeManifest(Manifest{Views: []ViewManifest{a, b}})); err == nil {
+		t.Fatal("unsorted manifest accepted")
+	}
+	// Chunk count that cannot cover Size.
+	bad := ViewManifest{Name: "x", Size: ChunkSize + 1, Chunks: []Hash{{5}}}
+	if _, err := decodeManifest(encodeManifest(Manifest{Views: []ViewManifest{bad}})); err == nil {
+		t.Fatal("short chunk list accepted")
+	}
+}
+
+func TestManifestDigestIgnoresGeneration(t *testing.T) {
+	vm := ViewManifest{Name: "a", Digest: Hash{9}, Size: 4, Chunks: []Hash{{1}}}
+	m1 := Manifest{Gen: 1, Views: []ViewManifest{vm}}
+	m2 := Manifest{Gen: 99, Views: []ViewManifest{vm}}
+	if m1.Digest() != m2.Digest() {
+		t.Fatal("content digest depends on generation")
+	}
+	if m1.Digest() == (Manifest{}).Digest() {
+		t.Fatal("digest ignores content")
+	}
+}
+
+func TestWantChunksRoundTrip(t *testing.T) {
+	hashes := []Hash{{1, 2}, {3, 4}}
+	got, err := decodeWant(encodeWant(hashes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != hashes[0] || got[1] != hashes[1] {
+		t.Fatalf("want mangled: %v", got)
+	}
+	chunks := []Chunk{{Hash: Hash{7}, Data: []byte("abc")}, {Hash: Hash{8}, Data: make([]byte, ChunkSize)}}
+	back, err := decodeChunks(encodeChunks(chunks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || !bytes.Equal(back[0].Data, chunks[0].Data) || back[1].Hash != chunks[1].Hash {
+		t.Fatalf("chunks mangled")
+	}
+	// Claimed count beyond payload must not allocate or succeed.
+	bad := encodeWant(hashes)
+	bad[3] = 0xff
+	if _, err := decodeWant(bad); err == nil {
+		t.Fatal("overclaimed want accepted")
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	gen, err := decodeUpdate(encodeUpdate(17))
+	if err != nil || gen != 17 {
+		t.Fatalf("got %d, %v", gen, err)
+	}
+}
+
+func TestSplitChunksReassembles(t *testing.T) {
+	data := bytes.Repeat([]byte{0xAB}, ChunkSize*2+100)
+	chunks := SplitChunks(data)
+	if len(chunks) != 3 {
+		t.Fatalf("got %d chunks", len(chunks))
+	}
+	var joined []byte
+	for _, c := range chunks {
+		if sha256.Sum256(c.Data) != c.Hash {
+			t.Fatal("chunk hash mismatch")
+		}
+		joined = append(joined, c.Data...)
+	}
+	if !bytes.Equal(joined, data) {
+		t.Fatal("chunks do not reassemble")
+	}
+}
+
+func TestAssembleViewVerifiesDigest(t *testing.T) {
+	v := testView("nginx", 600, 3)
+	data, err := v.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := SplitChunks(data)
+	byHash := map[Hash][]byte{}
+	vm := ViewManifest{Name: "nginx", Digest: sha256.Sum256(data), Size: uint64(len(data))}
+	for _, c := range chunks {
+		byHash[c.Hash] = c.Data
+		vm.Chunks = append(vm.Chunks, c.Hash)
+	}
+	get := func(h Hash) ([]byte, bool) { d, ok := byHash[h]; return d, ok }
+	got, err := AssembleView(vm, get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != "nginx" || got.Size() != v.Size() {
+		t.Fatalf("assembled view mangled: app %q size %d", got.App, got.Size())
+	}
+	// Corrupt one chunk: assembly must fail on the digest check.
+	first := vm.Chunks[0]
+	byHash[first] = append([]byte{0xFF}, byHash[first][1:]...)
+	if _, err := AssembleView(vm, get); err == nil {
+		t.Fatal("corrupted assembly accepted")
+	}
+	// Wrong app name inside the encoding must be rejected.
+	vm2 := vm
+	vm2.Name = "impostor"
+	byHash[first] = chunks[0].Data
+	if _, err := AssembleView(vm2, get); err == nil {
+		t.Fatal("app/name mismatch accepted")
+	}
+}
+
+func TestBackoffGrowsAndJitters(t *testing.T) {
+	bo := newBackoff(BackoffConfig{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}, "node-a")
+	prevStep := time.Duration(0)
+	for i := 0; i < 6; i++ {
+		step := bo.next
+		d := bo.delay()
+		if d < step || d > 2*step {
+			t.Fatalf("delay %v outside [step, 2*step] for step %v", d, step)
+		}
+		if step < prevStep {
+			t.Fatalf("step shrank: %v after %v", step, prevStep)
+		}
+		prevStep = step
+	}
+	if bo.next != 80*time.Millisecond {
+		t.Fatalf("step did not cap at Max: %v", bo.next)
+	}
+	bo.reset()
+	if bo.next != 10*time.Millisecond {
+		t.Fatal("reset did not restore Base")
+	}
+	// Distinct node IDs must produce distinct jitter sequences.
+	a := newBackoff(BackoffConfig{}, "node-a")
+	b := newBackoff(BackoffConfig{}, "node-b")
+	same := true
+	for i := 0; i < 8; i++ {
+		if a.delay() != b.delay() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two nodes share a jitter sequence")
+	}
+}
+
+// testView builds a synthetic canonical view whose encoding spans
+// len-dependent multiple chunks: nranges disjoint 8-byte ranges.
+func testView(name string, nranges int, seed uint32) *kview.View {
+	v := kview.NewView(name)
+	base := uint32(0x1000) + seed*8
+	for i := 0; i < nranges; i++ {
+		start := base + uint32(i)*16
+		v.Insert(kview.BaseKernel, start, start+8)
+	}
+	return v
+}

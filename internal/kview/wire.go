@@ -1,0 +1,203 @@
+package kview
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// The canonical binary configuration format. Unlike the JSON form (a
+// human-editable artifact), the binary form is *canonical*: one view has
+// exactly one encoding, so its bytes can be hashed, content-addressed and
+// delta-synced by the fleet control plane.
+//
+//	magic "KVC" | version (1 byte) | crc32 (IEEE, 4 bytes, big-endian,
+//	over the payload that follows) | payload
+//
+//	payload:
+//	  u16 len(app) | app bytes
+//	  u32 nspaces
+//	  per space, sorted by name (base kernel — "" — first):
+//	    u16 len(name) | name bytes
+//	    u32 nranges
+//	    per range, ascending: u32 start | u32 end
+//
+// All integers are big-endian. Range lists must be canonical (sorted,
+// non-empty, non-overlapping, coalesced) — Insert maintains this, and
+// MarshalBinary rejects hand-built lists that violate it rather than
+// silently producing a non-canonical encoding.
+
+// WireVersion is the current binary configuration format version.
+const WireVersion = 1
+
+var wireMagic = [3]byte{'K', 'V', 'C'}
+
+// wireMaxStr bounds app and space names on decode.
+const wireMaxStr = 4096
+
+// MarshalBinary encodes the view in the canonical binary configuration
+// format.
+func (v *View) MarshalBinary() ([]byte, error) {
+	// Empty spaces are dropped: a space with no ranges is indistinguishable
+	// from an absent one, and a canonical encoding must not depend on which
+	// of the two a builder produced.
+	names := make([]string, 0, len(v.Spaces))
+	for _, name := range v.SpaceNames() {
+		if len(v.Spaces[name]) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(v.App) > wireMaxStr {
+		return nil, fmt.Errorf("kview: app name %d bytes exceeds %d", len(v.App), wireMaxStr)
+	}
+	payload := make([]byte, 0, 64+16*v.Len())
+	payload = appendStr(payload, v.App)
+	payload = binary.BigEndian.AppendUint32(payload, uint32(len(names)))
+	for _, name := range names {
+		if len(name) > wireMaxStr {
+			return nil, fmt.Errorf("kview: space name %d bytes exceeds %d", len(name), wireMaxStr)
+		}
+		l := v.Spaces[name]
+		if err := checkCanonical(name, l); err != nil {
+			return nil, err
+		}
+		payload = appendStr(payload, name)
+		payload = binary.BigEndian.AppendUint32(payload, uint32(len(l)))
+		for _, r := range l {
+			payload = binary.BigEndian.AppendUint32(payload, r.Start)
+			payload = binary.BigEndian.AppendUint32(payload, r.End)
+		}
+	}
+	out := make([]byte, 0, 8+len(payload))
+	out = append(out, wireMagic[:]...)
+	out = append(out, WireVersion)
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...), nil
+}
+
+// checkCanonical rejects range lists Insert could not have produced.
+func checkCanonical(space string, l RangeList) error {
+	for i, r := range l {
+		if r.Start >= r.End {
+			return fmt.Errorf("kview: space %q: empty range [%#x,%#x)", space, r.Start, r.End)
+		}
+		if i > 0 && l[i-1].End >= r.Start {
+			return fmt.Errorf("kview: space %q: ranges not canonical at %d", space, i)
+		}
+	}
+	return nil
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// wireReader is a bounds-checked cursor over untrusted bytes.
+type wireReader struct{ b []byte }
+
+func (r *wireReader) u16() (uint16, error) {
+	if len(r.b) < 2 {
+		return 0, fmt.Errorf("kview: truncated config")
+	}
+	v := binary.BigEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v, nil
+}
+
+func (r *wireReader) u32() (uint32, error) {
+	if len(r.b) < 4 {
+		return 0, fmt.Errorf("kview: truncated config")
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v, nil
+}
+
+func (r *wireReader) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > wireMaxStr || len(r.b) < int(n) {
+		return "", fmt.Errorf("kview: bad string length %d", n)
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s, nil
+}
+
+// UnmarshalBinary parses a canonical binary configuration, verifying the
+// magic, version and CRC, and that the content is in canonical form (so
+// re-marshaling yields the identical bytes).
+func UnmarshalBinary(data []byte) (*View, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("kview: binary config too short (%d bytes)", len(data))
+	}
+	if [3]byte(data[:3]) != wireMagic {
+		return nil, fmt.Errorf("kview: bad magic %q", data[:3])
+	}
+	if data[3] != WireVersion {
+		return nil, fmt.Errorf("kview: unsupported config version %d (want %d)", data[3], WireVersion)
+	}
+	sum := binary.BigEndian.Uint32(data[4:8])
+	payload := data[8:]
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, fmt.Errorf("kview: config CRC mismatch: %#x != %#x", got, sum)
+	}
+	r := &wireReader{b: payload}
+	app, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	nspaces, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	v := NewView(app)
+	prevName := ""
+	for i := uint32(0); i < nspaces; i++ {
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && name <= prevName {
+			return nil, fmt.Errorf("kview: spaces not sorted (%q after %q)", name, prevName)
+		}
+		prevName = name
+		nranges, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if nranges == 0 {
+			return nil, fmt.Errorf("kview: space %q has no ranges", name)
+		}
+		// Each range occupies 8 bytes; an implausible count fails before
+		// allocation instead of attempting a huge make.
+		if uint64(nranges)*8 > uint64(len(r.b)) {
+			return nil, fmt.Errorf("kview: space %q claims %d ranges, %d bytes left", name, nranges, len(r.b))
+		}
+		l := make(RangeList, 0, nranges)
+		for j := uint32(0); j < nranges; j++ {
+			start, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			end, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			l = append(l, Range{Start: start, End: end})
+		}
+		if err := checkCanonical(name, l); err != nil {
+			return nil, err
+		}
+		v.Spaces[name] = l
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("kview: %d trailing bytes after config", len(r.b))
+	}
+	return v, nil
+}

@@ -1,0 +1,162 @@
+package kview
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+func wireTestView() *View {
+	v := NewView("apache")
+	v.Insert(BaseKernel, 0x1000, 0x1800)
+	v.Insert(BaseKernel, 0x2000, 0x2040)
+	v.Insert("ext4", 0x0, 0x200)
+	v.Insert("nf_conntrack", 0x100, 0x180)
+	return v
+}
+
+// TestWireGolden pins the canonical encoding byte for byte: any change to
+// the format (field order, endianness, CRC placement) must be deliberate —
+// it is a protocol break for every fleet node — and must bump WireVersion.
+func TestWireGolden(t *testing.T) {
+	const golden = "4b5643015e6abf82" + // "KVC", version 1, CRC32
+		"0006617061636865" + // app "apache"
+		"00000003" + // 3 spaces
+		"0000" + "00000002" + "0000100000001800" + "0000200000002040" + // base kernel
+		"000465787434" + "00000001" + "0000000000000200" + // ext4
+		"000c6e665f636f6e6e747261636b" + "00000001" + "0000010000000180" // nf_conntrack
+	data, err := wireTestView().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(data); got != golden {
+		t.Fatalf("encoding drifted:\n got %s\nwant %s", got, golden)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	v := wireTestView()
+	data, err := v.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.App != v.App || !viewsEqual(v, back) {
+		t.Fatalf("round trip changed the view:\nin:  %v\nout: %v", v.Spaces, back.Spaces)
+	}
+	// Canonical: re-encoding the decoded view reproduces identical bytes.
+	again, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("re-encoding is not canonical")
+	}
+}
+
+// TestWireEmptySpaceDropped asserts empty range lists do not survive into
+// the encoding (they would break canonical uniqueness).
+func TestWireEmptySpaceDropped(t *testing.T) {
+	v := NewView("x")
+	v.Insert(BaseKernel, 0x10, 0x20)
+	v.Spaces["ghost"] = RangeList{}
+	data, err := v.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.Spaces["ghost"]; ok {
+		t.Fatal("empty space survived the round trip")
+	}
+	if len(back.Spaces) != 1 {
+		t.Fatalf("want 1 space, got %d", len(back.Spaces))
+	}
+}
+
+func TestWireRejects(t *testing.T) {
+	good, err := wireTestView().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"short":       good[:5],
+		"bad magic":   append([]byte("XYZ"), good[3:]...),
+		"bad version": append(append([]byte{}, good[:3]...), append([]byte{99}, good[4:]...)...),
+		"truncated":   good[:len(good)-3],
+		"trailing":    append(append([]byte{}, good...), 0),
+	}
+	// Flip one payload byte: the CRC must catch it.
+	flipped := append([]byte{}, good...)
+	flipped[len(flipped)-1] ^= 0xff
+	cases["payload corruption"] = flipped
+	for name, data := range cases {
+		if _, err := UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+	// Non-canonical hand-built list is rejected on encode.
+	bad := NewView("bad")
+	bad.Spaces["m"] = RangeList{{Start: 0x20, End: 0x10}}
+	if _, err := bad.MarshalBinary(); err == nil {
+		t.Error("MarshalBinary accepted a non-canonical range list")
+	}
+}
+
+// FuzzConfigWire fuzzes both directions: UnmarshalBinary must never panic
+// or over-allocate on arbitrary bytes, and any view built from the input
+// must round-trip exactly through the binary form with a canonical (stable)
+// encoding.
+func FuzzConfigWire(f *testing.F) {
+	seed, _ := wireTestView().MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte("KVC\x01\x00\x00\x00\x00"))
+	f.Add([]byte{0, 0x10, 0x00, 0x20, 0x00, 0, 1, 0x05, 0x00, 0x08, 0x00, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Direction 1: decode arbitrary bytes. Any accepted input must
+		// re-encode to the identical canonical bytes.
+		if v, err := UnmarshalBinary(data); err == nil {
+			out, err := v.MarshalBinary()
+			if err != nil {
+				t.Fatalf("decoded view fails to encode: %v", err)
+			}
+			if !bytes.Equal(out, data) {
+				t.Fatalf("accepted non-canonical encoding:\nin:  %x\nout: %x", data, out)
+			}
+		}
+
+		// Direction 2: build a view from the input (reusing the fuzz range
+		// decoder) and round-trip it.
+		recs := decodeRanges(data)
+		if len(recs) == 0 {
+			return
+		}
+		v := NewView("fuzz")
+		for _, r := range recs {
+			v.Insert(r.space, r.start, r.end)
+		}
+		enc, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("canonical view fails to encode: %v", err)
+		}
+		back, err := UnmarshalBinary(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding fails to decode: %v", err)
+		}
+		if back.App != v.App || !viewsEqual(v, back) {
+			t.Fatalf("round trip changed the view:\nin:  %v\nout: %v", v.Spaces, back.Spaces)
+		}
+		enc2, err := back.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatal("encoding not stable across a round trip")
+		}
+	})
+}

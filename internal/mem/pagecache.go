@@ -50,8 +50,14 @@ type CacheStats struct {
 	// DedupedPages is the number of live page mappings served without a
 	// copy: for each cached page, every reference beyond the first.
 	DedupedPages uint64
-	// BytesSaved is DedupedPages in bytes.
+	// BytesSaved is DedupedPages in bytes — a gauge over the live mapping
+	// set (it shrinks when views release shared pages).
 	BytesSaved uint64
+	// BytesSavedTotal is the monotonic counter: one page of copying avoided
+	// for every Intern hit over the cache's lifetime. Fleet delta-sync
+	// asserts on this — a node joining an already-warm host must land here,
+	// not in fresh allocations.
+	BytesSavedTotal uint64
 	// Hits and Misses count Intern calls that reused respectively created
 	// a page. Privatized counts copy-on-write detachments.
 	Hits, Misses, Privatized uint64
@@ -223,10 +229,11 @@ func (c *PageCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := CacheStats{
-		DistinctPages: len(c.entries),
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Privatized:    c.privatized,
+		DistinctPages:   len(c.entries),
+		Hits:            c.hits,
+		Misses:          c.misses,
+		Privatized:      c.privatized,
+		BytesSavedTotal: c.hits * PageSize,
 	}
 	for _, e := range c.entries {
 		s.DedupedPages += uint64(e.refs - 1)

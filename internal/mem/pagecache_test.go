@@ -42,8 +42,33 @@ func TestPageCacheInternDedups(t *testing.T) {
 	if st.BytesSaved != PageSize {
 		t.Errorf("BytesSaved = %d, want %d", st.BytesSaved, PageSize)
 	}
+	if st.BytesSavedTotal != PageSize {
+		t.Errorf("BytesSavedTotal = %d, want %d", st.BytesSavedTotal, PageSize)
+	}
 	if got := st.DedupRatio(); got < 0.33 || got > 0.34 {
 		t.Errorf("DedupRatio = %v, want 1/3", got)
+	}
+}
+
+// TestBytesSavedTotalMonotonic pins the counter/gauge split: releasing a
+// shared mapping shrinks the live BytesSaved gauge but never the lifetime
+// BytesSavedTotal counter.
+func TestBytesSavedTotalMonotonic(t *testing.T) {
+	h := NewHost()
+	c := NewPageCache(h)
+	a, _ := c.Intern(pageFilled(0xAA))
+	c.Intern(pageFilled(0xAA))
+	before := c.Stats()
+	if before.BytesSaved != PageSize || before.BytesSavedTotal != PageSize {
+		t.Fatalf("stats = %+v, want one page saved on both counters", before)
+	}
+	c.Release(a)
+	after := c.Stats()
+	if after.BytesSaved != 0 {
+		t.Errorf("BytesSaved gauge = %d after release, want 0", after.BytesSaved)
+	}
+	if after.BytesSavedTotal != PageSize {
+		t.Errorf("BytesSavedTotal = %d after release, want %d (monotonic)", after.BytesSavedTotal, PageSize)
 	}
 }
 

@@ -113,6 +113,11 @@ type Event struct {
 	CPU  int  `json:"cpu"`
 	Kind Kind `json:"kind"`
 
+	// Node identifies the fleet runtime the event originated on. Empty on
+	// a standalone machine; the fleet control plane stamps it when fanning
+	// a node's stream into the central hub (see ReplayInto).
+	Node string `json:"node,omitempty"`
+
 	// PID and Comm identify the guest process context (recovery and UD2
 	// trap events, via VMI; -1/"?" when the VMI read failed).
 	PID  int    `json:"pid,omitempty"`

@@ -103,5 +103,10 @@ func EventsHandler(t Tailer) http.Handler {
 				return
 			}
 		}
+		// Push the tail out before the handler returns so a scraper that
+		// half-closes early still sees every line that was written.
+		if f, ok := rw.(http.Flusher); ok {
+			f.Flush()
+		}
 	})
 }

@@ -54,6 +54,7 @@ type Hub struct {
 	stop    chan struct{}
 	done    chan struct{}
 	started atomic.Bool
+	closed  atomic.Bool
 }
 
 // NewHub creates a hub.
@@ -116,14 +117,21 @@ func (h *Hub) Start() {
 }
 
 // Close stops the background consumer (if started), drains every ring and
-// flushes flushable sinks.
+// flushes flushable sinks. Close is idempotent; only the first call does
+// the work. Events emitted before Close returns are guaranteed to reach
+// the sinks before they flush: after the consumer stops (or in its
+// absence), Close runs one final synchronous drain round — without it,
+// events emitted between the last Drain and Close would sit in the rings
+// while the sinks flushed, silently dropped at shutdown.
 func (h *Hub) Close() error {
+	if !h.closed.CompareAndSwap(false, true) {
+		return nil
+	}
 	if h.started.Load() {
 		close(h.stop)
 		<-h.done
-	} else {
-		h.Drain()
 	}
+	h.Drain()
 	var first error
 	for _, s := range h.sinks {
 		if f, ok := s.(Flusher); ok {

@@ -153,6 +153,7 @@ func sortedKeys(m map[string]uint64) []string {
 // destination yourself if it must survive concurrent writers; the hub
 // already serializes HandleEvent calls.
 type JSONLWriter struct {
+	dst io.Writer
 	bw  *bufio.Writer
 	enc *json.Encoder
 	err error
@@ -161,7 +162,7 @@ type JSONLWriter struct {
 // NewJSONLWriter creates a buffered JSONL sink.
 func NewJSONLWriter(w io.Writer) *JSONLWriter {
 	bw := bufio.NewWriter(w)
-	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+	return &JSONLWriter{dst: w, bw: bw, enc: json.NewEncoder(bw)}
 }
 
 // HandleEvent implements Sink. The first encode error sticks and is
@@ -179,4 +180,17 @@ func (j *JSONLWriter) Flush() error {
 		return fmt.Errorf("telemetry: jsonl sink: %w", j.err)
 	}
 	return j.bw.Flush()
+}
+
+// Close flushes the buffer and closes the destination when it is an
+// io.Closer (a file) — the explicit end-of-stream step: a JSONL file
+// abandoned without Close can lose its buffered tail.
+func (j *JSONLWriter) Close() error {
+	err := j.Flush()
+	if c, ok := j.dst.(io.Closer); ok {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
