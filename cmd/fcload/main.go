@@ -1,0 +1,113 @@
+// Command fcload is the ReqBench-style load harness: it generates a
+// seeded, Zipf-skewed workload trace over the application catalog,
+// replays it against live FACE-CHANGE runtimes (or a fleet of nodes)
+// through the real trap, switch and recovery paths, and reports per-app
+// and aggregate latency percentiles in charged cycles plus memory and
+// telemetry breakdowns.
+//
+// The run is deterministic: the same seed and flags reproduce the same
+// trace digest and the same report digest, which CI compares across runs.
+// The -slo flag turns the report into a gate — the process exits 1 when
+// any bound is exceeded.
+//
+//	fcload -seed 1 -apps 12 -skew 1.1 -events 1000000
+//	fcload -seed 7 -arrival closed -think 4000 -slo p99=60000,recovery.p999=200000
+//	fcload -seed 1 -fleet -nodes 3 -events 50000 -out BENCH_load.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"facechange/internal/load"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "trace seed (drives every random choice)")
+		apps     = flag.Int("apps", 12, "catalog applications in play, most popular first (max 12)")
+		skew     = flag.Float64("skew", 1.1, "Zipf exponent over app popularity (0 = uniform)")
+		events   = flag.Int("events", 100000, "trace length in events")
+		cpus     = flag.Int("cpus", 2, "vCPUs per runtime (max 8)")
+		runtimes = flag.Int("runtimes", 2, "live runtimes driven in parallel")
+		arrival  = flag.String("arrival", "open", "arrival process: open (Poisson timeline) or closed (think time)")
+		rate     = flag.Float64("rate", 2000, "open-loop mean arrival rate, events per simulated second")
+		think    = flag.Uint64("think", 2000, "closed-loop think time in cycles")
+		shape    = flag.String("shape", "steady", "open-loop rate shape: steady, burst or diurnal")
+		legacy   = flag.Bool("legacy", false, "use the paper's per-entry EPT rewrite switch path instead of snapshot root swaps")
+		profile  = flag.Bool("profile", false, "profile real catalog views instead of synthetic deterministic views")
+		fleetM   = flag.Bool("fleet", false, "drive fleet nodes synced from a control-plane server instead of local runtimes")
+		nodes    = flag.Int("nodes", 3, "fleet size under -fleet")
+		slo      = flag.String("slo", "", "comma-separated latency bounds, e.g. p99=40000,recovery.p999=200000")
+		out      = flag.String("out", "", "write the JSON report to this file")
+		noalloc  = flag.Bool("noalloc", false, "skip the hot-path allocation probes")
+		verbose  = flag.Bool("v", false, "log progress")
+	)
+	flag.Parse()
+
+	slos, err := load.ParseSLOs(*slo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	tr, err := load.GenTrace(load.TraceConfig{
+		Seed: *seed, Apps: *apps, Skew: *skew, Events: *events, CPUs: *cpus,
+		Arrival: *arrival, Rate: *rate, Think: *think, Shape: *shape,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := load.RunConfig{
+		Trace:    tr,
+		Runtimes: *runtimes,
+		Legacy:   *legacy,
+		Profile:  *profile,
+	}
+	if *fleetM {
+		cfg.Nodes = *nodes
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+		log.Printf("fcload: trace %s (%d events)", tr.DigestString(), len(tr.Events))
+	}
+
+	rep, err := load.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if !*noalloc {
+		allocs, err := load.MeasureAllocs()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep.Allocs = allocs
+	}
+
+	pass := rep.ApplySLOs(slos)
+
+	if *out != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Print(rep.Format())
+	if !pass {
+		fmt.Fprintln(os.Stderr, "fcload: SLO gate failed")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"facechange/internal/kernel"
+	"facechange/internal/kview"
+	"facechange/internal/mem"
+)
+
+// allocRig fabricates scheduler state exactly as a guest context switch
+// would leave it, so OnAddrTrap can be driven in a tight loop.
+type allocRig struct {
+	k    *kernel.Kernel
+	rt   *Runtime
+	ctx  uint32
+	task [2]uint32 // GVAs of two prewritten task structs (appA, appB)
+}
+
+func newAllocRig(t *testing.T, opts Options) *allocRig {
+	t.Helper()
+	opts.SwitchAtResume = false // commit at the context-switch trap
+	k, rt := runtimeMachine(t, nil, opts)
+	rig := &allocRig{k: k, rt: rt, ctx: k.Syms.MustAddr("context_switch")}
+	for i, app := range []string{"appA", "appB"} {
+		fn := []string{"sys_getpid", "sys_read"}[i]
+		f, ok := k.Syms.ByName(fn)
+		if !ok {
+			t.Fatalf("missing symbol %s", fn)
+		}
+		cfg := kview.NewView(app)
+		cfg.Insert(kview.BaseKernel, f.Addr, f.End())
+		if _, err := rt.LoadView(cfg); err != nil {
+			t.Fatalf("LoadView: %v", err)
+		}
+		slot := 40 + i
+		taskGVA := kernel.VMITaskBase + uint32(slot)*kernel.VMITaskStride
+		base := taskGVA - mem.KernelBase
+		if err := k.Host.WriteU32(base+kernel.VMITaskPIDOff, uint32(100+i)); err != nil {
+			t.Fatal(err)
+		}
+		comm := make([]byte, kernel.VMICommLen)
+		copy(comm, app)
+		if err := k.Host.Write(base+kernel.VMITaskCommOff, comm); err != nil {
+			t.Fatal(err)
+		}
+		rig.task[i] = taskGVA
+	}
+	return rig
+}
+
+// pick points rq->curr at the prewritten task i and fires the
+// context-switch trap on vCPU 0.
+func (rig *allocRig) pick(i int) error {
+	ptr := kernel.VMIRQCurrBase - mem.KernelBase
+	if err := rig.k.Host.WriteU32(ptr, rig.task[i]); err != nil {
+		return err
+	}
+	cpu := rig.k.M.CPUs[0]
+	cpu.EIP = rig.ctx
+	return rig.rt.OnAddrTrap(rig.k.M, cpu)
+}
+
+// measureSwitchAllocs reports allocations per custom→custom view switch
+// with no telemetry emitter attached (the production default).
+func measureSwitchAllocs(t *testing.T, opts Options) float64 {
+	t.Helper()
+	rig := newAllocRig(t, opts)
+	var err error
+	// Warm up both directions: first-touch EPT mutations may allocate
+	// (map growth inside the hardware model); steady state must not.
+	for i := 0; i < 4 && err == nil; i++ {
+		err = rig.pick(i % 2)
+	}
+	if err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	n := 0
+	avg := testing.AllocsPerRun(100, func() {
+		if e := rig.pick(n % 2); e != nil {
+			err = e
+		}
+		n++
+	})
+	if err != nil {
+		t.Fatalf("switch: %v", err)
+	}
+	return avg
+}
+
+// TestSnapshotSwitchZeroAllocs pins the snapshot switch path — trap entry,
+// VMI rq->curr read, view lookup, EPTP root swap, disabled-telemetry emit
+// — at zero heap allocations per switch. This is the path a production
+// guest pays on every context switch; a regression here is a per-switch
+// GC tax on the whole machine.
+func TestSnapshotSwitchZeroAllocs(t *testing.T) {
+	if avg := measureSwitchAllocs(t, FastOptions()); avg != 0 {
+		t.Errorf("snapshot switch path allocates %.1f objects/switch, want 0", avg)
+	}
+}
+
+// TestLegacySwitchZeroAllocs pins the legacy per-entry rewrite path at
+// zero steady-state allocations per switch (PD slots and module PTE maps
+// are reused after warm-up).
+func TestLegacySwitchZeroAllocs(t *testing.T) {
+	if avg := measureSwitchAllocs(t, DefaultOptions()); avg != 0 {
+		t.Errorf("legacy switch path allocates %.1f objects/switch, want 0", avg)
+	}
+}
+
+// TestElidedSwitchZeroAllocs pins the same-view elision path (trap that
+// decides not to switch) at zero allocations.
+func TestElidedSwitchZeroAllocs(t *testing.T) {
+	rig := newAllocRig(t, FastOptions())
+	var err error
+	if err = rig.pick(0); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if e := rig.pick(0); e != nil {
+			err = e
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Errorf("elided switch allocates %.1f objects/trap, want 0", avg)
+	}
+}
+
+// TestEmitterAttachedStillSwitches sanity-checks that the zero-alloc
+// rewrite did not break the instrumented path: with an emitter attached
+// the switch still emits, and detaching restores the zero-alloc path.
+func TestEmitterAttachedStillSwitches(t *testing.T) {
+	rig := newAllocRig(t, FastOptions())
+	var got []string
+	rig.rt.SetEmitter(emitFunc(func(view string) { got = append(got, view) }))
+	if err := rig.pick(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig.pick(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "appA" || got[1] != "appB" {
+		t.Fatalf("emitted switches = %v, want [appA appB]", got)
+	}
+	rig.rt.SetEmitter(nil)
+	n := 0
+	avg := testing.AllocsPerRun(100, func() {
+		rig.pick(n % 2)
+		n++
+	})
+	if avg != 0 {
+		t.Errorf("detached emitter still allocates %.1f objects/switch", avg)
+	}
+}
+
+type emitFunc func(view string)
+
+func (f emitFunc) Emit(ev Event) {
+	if ev.Kind.String() == "eptp-swap" {
+		f(ev.View)
+	} else {
+		f(fmt.Sprintf("unexpected:%s", ev.Kind))
+	}
+}

@@ -110,6 +110,20 @@ type Runtime struct {
 
 	kernelAS *mem.AddressSpace
 
+	// vmiAccs holds one prebuilt VMI accessor per vCPU. Building the
+	// accessor on demand boxes a three-field struct into an interface at
+	// every trap — a per-trap heap allocation on the hottest path. The
+	// accessors are rebuilt when the injector changes (SetFaultInjector).
+	vmiAccs []mem.Access
+	// commScratch is the VMI comm read buffer, reused across traps (all
+	// readers hold mu). A per-trap make([]byte, ...) would otherwise be
+	// the context-switch path's only allocation.
+	commScratch [kernel.VMICommLen]byte
+	// pdBases caches textPDBases: the PD-slot base GPAs covering the
+	// kernel text never change after setup, and the legacy switch path
+	// walks them on every committed switch.
+	pdBases []uint32
+
 	ctxSwitchAddr uint32
 	resumeAddr    uint32
 
@@ -189,8 +203,23 @@ func New(s Setup) (*Runtime, error) {
 	for range s.Machine.CPUs {
 		r.cpus = append(r.cpus, &cpuViewState{active: FullView, last: FullView})
 	}
+	start := mem.KernelTextGPA &^ (mem.PDSpan - 1)
+	for base := start; base < mem.KernelTextGPA+r.textSize; base += mem.PDSpan {
+		r.pdBases = append(r.pdBases, base)
+	}
+	r.rebuildVMIAccs()
 	s.Machine.SetExitHandler(r)
 	return r, nil
+}
+
+// rebuildVMIAccs rebuilds the per-vCPU VMI accessors (after construction
+// or an injector change).
+func (r *Runtime) rebuildVMIAccs() {
+	r.vmiAccs = make([]mem.Access, len(r.m.CPUs))
+	for i, cpu := range r.m.CPUs {
+		acc := mem.Accessor{AS: r.kernelAS, EPT: cpu.EPT, Host: r.m.Host}
+		r.vmiAccs[i] = mem.WrapAccess(acc, mem.FaultVMIRead, r.inj)
+	}
 }
 
 // Enable arms the context-switch trap: from now on every guest context
@@ -258,6 +287,7 @@ func (r *Runtime) SetFaultInjector(inj mem.FaultInjector) {
 	defer r.mu.Unlock()
 	r.inj = inj
 	r.cache.SetFaultInjector(inj)
+	r.rebuildVMIAccs()
 }
 
 func (r *Runtime) armResume() {
@@ -277,12 +307,11 @@ func (r *Runtime) disarmResume() {
 	}
 }
 
-// vmiAcc returns an accessor that reads guest virtual memory exactly as
+// vmiAcc returns the accessor that reads guest virtual memory exactly as
 // the given vCPU would (through its EPT) — the runtime's VMI channel.
 // With an injector attached, VMI reads can fail or return corrupt bytes.
 func (r *Runtime) vmiAcc(cpu *hv.CPU) mem.Access {
-	acc := mem.Accessor{AS: r.kernelAS, EPT: cpu.EPT, Host: r.m.Host}
-	return mem.WrapAccess(acc, mem.FaultVMIRead, r.inj)
+	return r.vmiAccs[cpu.ID]
 }
 
 // physRead reads pristine guest-physical bytes (the channel that feeds
@@ -316,24 +345,32 @@ func (r *Runtime) scanRead(gpa uint32, buf []byte) error {
 	return nil
 }
 
-// readRQCurr reads the incoming task's pid and comm via VMI at a
-// context-switch trap.
-func (r *Runtime) readRQCurr(cpu *hv.CPU) (pid int, comm string, err error) {
-	acc := r.vmiAcc(cpu)
+// readRQCurrBytes reads the incoming task's pid and comm via VMI at a
+// context-switch trap. The comm bytes alias r.commScratch and are only
+// valid until the next VMI read (callers hold mu, so the scratch cannot
+// be overwritten concurrently). The switch path consumes the bytes
+// directly — converting to string would put one allocation on every
+// context switch.
+func (r *Runtime) readRQCurrBytes(cpu *hv.CPU) (pid int, comm []byte, err error) {
+	acc := r.vmiAccs[cpu.ID]
 	r.m.Charge(3 * r.m.Cost.VMIRead)
 	ptr, err := acc.ReadU32(kernel.VMIRQCurrBase + uint32(cpu.ID)*4)
 	if err != nil {
-		return 0, "", fmt.Errorf("core: vmi rq->curr: %w", err)
+		return 0, nil, fmt.Errorf("core: vmi rq->curr: %w", err)
 	}
 	p, err := acc.ReadU32(ptr + kernel.VMITaskPIDOff)
 	if err != nil {
-		return 0, "", fmt.Errorf("core: vmi pid: %w", err)
+		return 0, nil, fmt.Errorf("core: vmi pid: %w", err)
 	}
-	buf := make([]byte, kernel.VMICommLen)
+	buf := r.commScratch[:]
 	if err := acc.Read(ptr+kernel.VMITaskCommOff, buf); err != nil {
-		return 0, "", fmt.Errorf("core: vmi comm: %w", err)
+		return 0, nil, fmt.Errorf("core: vmi comm: %w", err)
 	}
-	return int(p), strings.TrimRight(string(buf), "\x00"), nil
+	n := 0
+	for n < len(buf) && buf[n] != 0 {
+		n++
+	}
+	return int(p), buf[:n], nil
 }
 
 // vmiModule is a module-list entry read from guest memory.

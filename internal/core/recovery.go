@@ -58,7 +58,8 @@ func (r *Runtime) OnInvalidOpcode(m *hv.Machine, cpu *hv.CPU) (bool, error) {
 	// BACK_TRACE(rip, rbp), with instant recovery of any caller whose
 	// return site misparses.
 	frames, instantAddrs := r.backtrace(cpu)
-	pid, comm, err := r.readRQCurr(cpu)
+	pid, commB, err := r.readRQCurrBytes(cpu)
+	comm := string(commB)
 	if err != nil {
 		pid, comm = -1, "?"
 	}

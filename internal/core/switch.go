@@ -17,11 +17,11 @@ func (r *Runtime) OnAddrTrap(m *hv.Machine, cpu *hv.CPU) error {
 	st := r.cpus[cpu.ID]
 	switch cpu.EIP {
 	case r.ctxSwitchAddr:
-		_, comm, err := r.readRQCurr(cpu)
+		_, comm, err := r.readRQCurrBytes(cpu)
 		if err != nil {
 			return err
 		}
-		idx := r.ViewIndex(comm)
+		idx := r.viewIndexBytes(comm)
 		if r.opts.SameViewElision && idx == st.active {
 			// Previous and next process use the same kernel view: avoid
 			// one additional switch (Section III-B2).

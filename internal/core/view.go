@@ -140,16 +140,10 @@ func buildUD2Page() []byte {
 	return p
 }
 
-// textPDBases returns the PD-slot base GPAs covering the kernel text.
-func (r *Runtime) textPDBases() []uint32 {
-	var out []uint32
-	start := mem.KernelTextGPA &^ (mem.PDSpan - 1)
-	end := mem.KernelTextGPA + r.textSize
-	for base := start; base < end; base += mem.PDSpan {
-		out = append(out, base)
-	}
-	return out
-}
+// textPDBases returns the PD-slot base GPAs covering the kernel text,
+// precomputed at construction (the text never moves, and the legacy
+// switch path walks the slice on every committed switch).
+func (r *Runtime) textPDBases() []uint32 { return r.pdBases }
 
 // viewStage assembles a view's shadow page contents in host-side buffers
 // before any page is allocated, so each finished page can be interned in
@@ -569,6 +563,16 @@ func (r *Runtime) funcSpan(start, end, regionStart, regionEnd uint32) (uint32, u
 // FullView if none.
 func (r *Runtime) ViewIndex(app string) int {
 	if idx, ok := r.byName[app]; ok {
+		return idx
+	}
+	return FullView
+}
+
+// viewIndexBytes is ViewIndex for a comm still in byte form: the
+// map-lookup-with-converted-key form compiles to a no-allocation lookup,
+// keeping the context-switch trap path free of per-trap garbage.
+func (r *Runtime) viewIndexBytes(app []byte) int {
+	if idx, ok := r.byName[string(app)]; ok {
 		return idx
 	}
 	return FullView

@@ -12,6 +12,7 @@ import (
 	"facechange/internal/kernel"
 	"facechange/internal/kview"
 	"facechange/internal/mem"
+	"facechange/internal/stats"
 )
 
 // SwitchBaseline is the charged cost of custom→custom view switches for
@@ -35,6 +36,11 @@ type RecoveryBaseline struct {
 	Mode                     string  `json:"mode"`
 	Recoveries               uint64  `json:"recoveries"`
 	ChargedCyclesPerRecovery float64 `json:"charged_cycles_per_recovery"`
+	// Per-recovery charged-cycle percentiles (recoveries vary with the
+	// size of the recovered span), from the shared histogram.
+	CyclesP50 uint64 `json:"cycles_p50"`
+	CyclesP95 uint64 `json:"cycles_p95"`
+	CyclesP99 uint64 `json:"cycles_p99"`
 }
 
 // SymbolizeBaseline is the charged VMI cost of module symbolization with
@@ -185,6 +191,7 @@ func measureRecovery(mode string) (RecoveryBaseline, error) {
 	}
 	anchor, _ := rig.k.Syms.ByName("sys_getpid")
 	var recoveries uint64
+	var hist stats.Hist
 	before := rig.k.M.Cycles()
 	for _, f := range rig.k.Syms.Funcs() {
 		if f.Module != "" || f.Size < 16 || f.Name == anchor.Name {
@@ -194,6 +201,7 @@ func measureRecovery(mode string) (RecoveryBaseline, error) {
 			continue
 		}
 		cpu.EIP, cpu.EBP = f.Addr, 0
+		start := rig.k.M.Cycles()
 		handled, err := rig.rt.OnInvalidOpcode(rig.k.M, cpu)
 		if err != nil {
 			return RecoveryBaseline{}, err
@@ -201,14 +209,19 @@ func measureRecovery(mode string) (RecoveryBaseline, error) {
 		if !handled {
 			return RecoveryBaseline{}, fmt.Errorf("eval: recovery at %s not handled", f.Name)
 		}
+		hist.Record(rig.k.M.Cycles() - start)
 		if recoveries++; recoveries >= 64 {
 			break
 		}
 	}
+	sum := hist.Summarize()
 	return RecoveryBaseline{
 		Mode:                     mode,
 		Recoveries:               recoveries,
 		ChargedCyclesPerRecovery: float64(rig.k.M.Cycles()-before) / float64(recoveries),
+		CyclesP50:                sum.P50,
+		CyclesP95:                sum.P95,
+		CyclesP99:                sum.P99,
 	}, nil
 }
 

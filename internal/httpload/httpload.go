@@ -65,7 +65,8 @@ func StartServers(k *kernel.Kernel) []*kernel.Task {
 // simulated seconds and returns the served throughput. The pool must
 // already be started (StartServers).
 func Run(k *kernel.Kernel, servers []*kernel.Task, rate float64, seconds float64) (Result, error) {
-	if rate <= 0 || seconds <= 0 {
+	// The inverted comparisons also reject NaN, which satisfies neither.
+	if !(rate > 0) || !(seconds > 0) {
 		return Result{}, fmt.Errorf("httpload: rate and duration must be positive")
 	}
 	period := uint64(float64(CyclesPerSecond) / rate)

@@ -1,6 +1,7 @@
 package httpload
 
 import (
+	"math"
 	"testing"
 
 	"facechange/internal/kernel"
@@ -72,5 +73,63 @@ func TestBackToBackRunsAreIndependent(t *testing.T) {
 	}
 	if hi.ServedRPS < 34 {
 		t.Errorf("high-rate run served %.2f rps after a low-rate run", hi.ServedRPS)
+	}
+}
+
+// TestCallsPerRequestPin pins the served-request accounting against the
+// server script: Run divides completed syscalls by callsPerRequest, so a
+// script edit that adds or drops a call silently skews every throughput
+// number unless this pin moves with it.
+func TestCallsPerRequestPin(t *testing.T) {
+	ls, ok := ServerScript().(*kernel.LoopScript)
+	if !ok {
+		t.Fatalf("ServerScript is %T, want *kernel.LoopScript", ServerScript())
+	}
+	if len(ls.Calls) != callsPerRequest {
+		t.Fatalf("ServerScript has %d calls per request, callsPerRequest = %d — update both together",
+			len(ls.Calls), callsPerRequest)
+	}
+}
+
+// TestRunRejectsDegenerateRates covers the rest of the invalid-input
+// surface: negative and NaN rates and durations must fail up front, not
+// divide into the NIC period.
+func TestRunRejectsDegenerateRates(t *testing.T) {
+	k, servers := boot(t)
+	for _, tc := range []struct{ rate, secs float64 }{
+		{-5, 1},
+		{10, -1},
+		{math.NaN(), 1},
+	} {
+		if _, err := Run(k, servers, tc.rate, tc.secs); err == nil {
+			t.Errorf("Run(rate=%v, secs=%v) accepted a degenerate input", tc.rate, tc.secs)
+		}
+	}
+}
+
+// TestOverloadSweep sweeps the offered rate through and far beyond the
+// server's capacity: served throughput must track the offered rate below
+// capacity, never exceed it, and stay flat (not collapse) as overload
+// deepens — the paper's Figure 7 shape.
+func TestOverloadSweep(t *testing.T) {
+	k, servers := boot(t)
+	var served []float64
+	for _, rate := range []float64{15, 45, 150, 400} {
+		res, err := Run(k, servers, rate, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ServedRPS > rate*1.15 {
+			t.Errorf("served %.2f rps exceeds offered %.0f", res.ServedRPS, rate)
+		}
+		served = append(served, res.ServedRPS)
+	}
+	if served[0] < 12 {
+		t.Errorf("served %.2f rps at offered 15 (below capacity, should track)", served[0])
+	}
+	// Deep overload must not serve less than half of what moderate
+	// overload sustained.
+	if served[3] < served[2]/2 {
+		t.Errorf("throughput collapsed under deep overload: %.2f then %.2f rps", served[2], served[3])
 	}
 }

@@ -1,0 +1,68 @@
+package load
+
+import (
+	"fmt"
+	"testing"
+
+	"facechange/internal/kernel"
+)
+
+// measureSwitchAllocs boots a two-app rig on the given switch path and
+// reports steady-state heap allocations per context-switch trap with no
+// emitter attached (the production default).
+func measureSwitchAllocs(legacy bool) (float64, error) {
+	k, err := kernel.New(kernel.Config{Clock: kernel.ClockKVM})
+	if err != nil {
+		return 0, err
+	}
+	specs, err := buildSyntheticSpecs(k.Syms, k.Img.TextSize(), []string{"appA", "appB"}, 1)
+	if err != nil {
+		return 0, err
+	}
+	g, err := newRig(1, legacy, specs, nil)
+	if err != nil {
+		return 0, err
+	}
+	g.rt.Enable()
+	// Warm both directions first: first-touch EPT mutations may allocate
+	// (map growth inside the hardware model); steady state must not.
+	for i := 0; i < 4; i++ {
+		st := g.apps[uint8(i%2)]
+		if err := g.ensureActive(0, st); err != nil {
+			return 0, err
+		}
+	}
+	n := 0
+	avg := testing.AllocsPerRun(100, func() {
+		// ensureActive commits the switch (context-switch trap plus the
+		// deferred-resume trap when armed), so the probe covers the full
+		// path a production switch pays.
+		if e := g.ensureActive(0, g.apps[uint8(n%2)]); e != nil {
+			err = e
+		}
+		n++
+	})
+	if err != nil {
+		return 0, fmt.Errorf("load: alloc probe switch: %w", err)
+	}
+	return avg, nil
+}
+
+// MeasureAllocs runs the hot-path allocation pins (satellites of the
+// zero-alloc guarantee) so fcload can record them in BENCH_load.json
+// alongside the charged-cycle percentiles. Both switch paths are probed:
+// the snapshot root swap and the legacy per-entry rewrite. The expected
+// value for both is exactly zero; the numbers are excluded from the
+// report digest because they are host measurements, not simulation
+// outputs.
+func MeasureAllocs() (*AllocReport, error) {
+	snap, err := measureSwitchAllocs(false)
+	if err != nil {
+		return nil, err
+	}
+	legacy, err := measureSwitchAllocs(true)
+	if err != nil {
+		return nil, err
+	}
+	return &AllocReport{SnapshotSwitch: snap, LegacySwitch: legacy}, nil
+}

@@ -1,0 +1,163 @@
+package load
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"facechange"
+	"facechange/internal/core"
+	"facechange/internal/fleet"
+	"facechange/internal/telemetry"
+)
+
+// teeEmitter fans one runtime's telemetry into the local histogram sink
+// (the deterministic report numbers) and the fleet node's relay buffer
+// (the control plane's central hub) at the same time.
+type teeEmitter struct {
+	sink *telemetry.HistogramSink
+	buf  *telemetry.RemoteBuffer
+}
+
+func (t teeEmitter) Emit(ev telemetry.Event) {
+	t.sink.Emit(ev)
+	t.buf.Emit(ev)
+}
+
+// runFleet is the fleet drive mode: instead of loading views locally,
+// the view material is published to an in-process control-plane server;
+// cfg.Nodes runtime VMs join as fleet nodes over pipes, delta-sync the
+// catalog through one shared chunk store, and are then driven through the
+// same replay engine — exercising switch and recovery under views that
+// arrived over the wire, with telemetry relayed to the central hub.
+func runFleet(cfg *RunConfig) (*Report, error) {
+	cfg.Runtimes = cfg.Nodes
+	if cfg.Runtimes > len(cfg.Trace.Shares) {
+		cfg.Runtimes = len(cfg.Trace.Shares)
+	}
+	specs, modules, err := buildSpecs(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	hub := telemetry.NewHub(telemetry.HubConfig{})
+	hub.Start()
+	defer hub.Close()
+	srv := fleet.NewServer(fleet.ServerConfig{Hub: hub, Logf: cfg.Logf})
+	for _, spec := range specs {
+		if err := srv.Publish(spec.cfg); err != nil {
+			return nil, fmt.Errorf("load: publish %s: %w", spec.name, err)
+		}
+	}
+	dial := func() (net.Conn, error) {
+		c, s := net.Pipe()
+		go srv.ServeConn(s)
+		return c, nil
+	}
+	digest := srv.Catalog().Manifest().DigestString()
+
+	store := fleet.NewChunkStore()
+	var opts *core.Options
+	if cfg.Legacy {
+		o := core.DefaultOptions()
+		opts = &o
+	} else {
+		o := core.FastOptions()
+		opts = &o
+	}
+
+	type member struct {
+		g    *rig
+		node *fleet.Node
+	}
+	members := make([]member, 0, cfg.Runtimes)
+	flt := &FleetReport{Nodes: cfg.Runtimes, CatalogDigest: digest, Converged: true}
+	defer func() {
+		for _, m := range members {
+			m.node.Close()
+		}
+	}()
+	for i := 0; i < cfg.Runtimes; i++ {
+		vm, err := facechange.NewVM(facechange.VMConfig{
+			NCPU:    cfg.Trace.Cfg.CPUs,
+			Modules: modules,
+			Options: opts,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("load: node %d: %w", i, err)
+		}
+		n := fleet.NewNode(fleet.NodeConfig{
+			ID:            fmt.Sprintf("load-%d", i),
+			Dial:          dial,
+			Store:         store,
+			Runtime:       vm.Runtime,
+			FlushInterval: 5 * time.Millisecond,
+			Logf:          cfg.Logf,
+		})
+		n.Start()
+		if err := n.WaitDigest(digest, 30*time.Second); err != nil {
+			n.Close()
+			return nil, fmt.Errorf("load: node %d join: %w", i, err)
+		}
+		flt.JoinBytes = append(flt.JoinBytes, n.Status().BytesIn)
+		g := newRigOn(vm.Kernel, vm.Runtime)
+		// NewNode pointed the runtime's emitter at the relay buffer; tee
+		// it so the local sink still sees every event for the report.
+		vm.Runtime.SetEmitter(teeEmitter{sink: g.res.sink, buf: n.Telemetry()})
+		g.closed = cfg.Trace.Cfg.Arrival == "closed"
+		g.think = cfg.Trace.Cfg.Think
+		for _, spec := range specs {
+			if spec.idx%cfg.Runtimes != i {
+				continue
+			}
+			idx := vm.Runtime.ViewIndex(spec.name)
+			if idx == core.FullView {
+				return nil, fmt.Errorf("load: node %d: synced catalog missing view %s", i, spec.name)
+			}
+			g.addApp(spec, idx)
+		}
+		cfg.Logf("load: node %d joined (%d bytes in)", i, n.Status().BytesIn)
+		members = append(members, member{g: g, node: n})
+	}
+
+	shards := shard(cfg.Trace, cfg.Runtimes)
+	results := make([]*runtimeResult, cfg.Runtimes)
+	errs := make(chan error, cfg.Runtimes)
+	for i, m := range members {
+		go func(i int, m member) {
+			if err := m.g.replay(shards[i]); err != nil {
+				errs <- fmt.Errorf("load: node %d: %w", i, err)
+				return
+			}
+			results[i] = m.g.res
+			errs <- nil
+		}(i, m)
+	}
+	for range members {
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+
+	// Let the relay buffers drain into the hub before counting.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		pending := 0
+		for _, m := range members {
+			pending += m.node.Telemetry().Len()
+		}
+		if pending == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, m := range members {
+		if m.node.Digest() != digest {
+			flt.Converged = false
+		}
+	}
+	hub.Drain()
+	flt.RelayedEvents = hub.Emitted()
+	cfg.Logf("load: fleet replay done: %d events relayed, converged=%v", flt.RelayedEvents, flt.Converged)
+	return assemble(cfg, specs, results, flt), nil
+}

@@ -1,0 +1,101 @@
+package load
+
+import (
+	"testing"
+
+	"facechange/internal/sim"
+)
+
+// TestSimScriptKindPin pins the wire kind bytes SimScript hardcodes
+// against the sim package's event enum. If sim reorders its kinds, the
+// compiler stays quiet — this test does not.
+func TestSimScriptKindPin(t *testing.T) {
+	pins := []struct {
+		name string
+		got  byte
+		want byte
+	}{
+		{"ctxswitch", byte(sim.EvCtxSwitch), 0},
+		{"resume", byte(sim.EvResume), 1},
+		{"ud2", byte(sim.EvUD2), 2},
+		{"loadview", byte(sim.EvLoadView), 3},
+	}
+	for _, p := range pins {
+		if p.got != p.want {
+			t.Errorf("sim.Ev%s wire byte = %d, SimScript assumes %d", p.name, p.got, p.want)
+		}
+	}
+}
+
+func TestSimScriptReplaysClean(t *testing.T) {
+	tr, err := GenTrace(TraceConfig{Seed: 1, Skew: 1.1, Events: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(sim.Config{Seed: 1, CPUs: 2, NoPool: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunScript(tr.SimScript())
+	if err != nil {
+		t.Fatalf("scripted replay: %v", err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("invariant violation replaying generated trace: %v", res.Violation)
+	}
+	if res.Steps == 0 {
+		t.Fatal("script replayed no steps")
+	}
+}
+
+// FuzzTrace generates traces from fuzzed configurations and replays each
+// one under the simulator's invariant checkers: whatever the generator
+// can produce, the runtime must survive with every safety invariant
+// intact.
+func FuzzTrace(f *testing.F) {
+	f.Add(int64(1), 12, 500, 1.1, uint8(0), uint8(0))
+	f.Add(int64(7), 3, 200, 0.0, uint8(1), uint8(1))
+	f.Add(int64(42), 1, 100, 4.0, uint8(0), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, apps, events int, skew float64, arrival, shape uint8) {
+		if skew < 0 || skew != skew || skew > 8 { // negative, NaN or huge
+			skew = 1.0
+		}
+		cfg := TraceConfig{
+			Seed:    seed,
+			Apps:    1 + abs(apps)%12,
+			Skew:    skew,
+			Events:  1 + abs(events)%1500,
+			CPUs:    2,
+			Arrival: []string{"open", "closed"}[arrival%2],
+			Shape:   []string{"steady", "burst", "diurnal"}[shape%3],
+		}
+		tr, err := GenTrace(cfg)
+		if err != nil {
+			t.Fatalf("GenTrace(%+v): %v", cfg, err)
+		}
+		if tr.Digest() == 0 {
+			t.Fatal("degenerate digest")
+		}
+		s, err := sim.New(sim.Config{Seed: 1, CPUs: 2, NoPool: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.RunScript(tr.SimScript())
+		if err != nil {
+			t.Fatalf("replay under invariants (%+v): %v", cfg, err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("violation for %+v: %v", cfg, res.Violation)
+		}
+	})
+}
+
+func abs(n int) int {
+	if n < 0 {
+		if n == -n { // MinInt
+			return 0
+		}
+		return -n
+	}
+	return n
+}

@@ -1,0 +1,400 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"facechange/internal/stats"
+	"facechange/internal/telemetry"
+)
+
+// ConfigReport echoes the run's effective parameters into the report.
+type ConfigReport struct {
+	Seed     int64   `json:"seed"`
+	Apps     int     `json:"apps"`
+	Skew     float64 `json:"skew"`
+	Events   int     `json:"events"`
+	CPUs     int     `json:"cpus"`
+	Arrival  string  `json:"arrival"`
+	Rate     float64 `json:"rate"`
+	Think    uint64  `json:"think"`
+	Shape    string  `json:"shape"`
+	Runtimes int     `json:"runtimes"`
+	Legacy   bool    `json:"legacy"`
+	Profile  bool    `json:"profile"`
+	Nodes    int     `json:"nodes,omitempty"`
+}
+
+// OpLatency is the aggregate charged-cycle latency, overall and split by
+// operation kind. Open-loop samples are sojourn times (completion minus
+// arrival), so queueing delay under overload is visible in the tail.
+type OpLatency struct {
+	All      stats.Summary `json:"all"`
+	Switch   stats.Summary `json:"switch"`
+	Resume   stats.Summary `json:"resume"`
+	Recovery stats.Summary `json:"recovery"`
+}
+
+// AppReport is one application's slice of the run.
+type AppReport struct {
+	App      string        `json:"app"`
+	Share    float64       `json:"share"` // analytic Zipf popularity mass
+	Events   uint64        `json:"events"`
+	WarmHits uint64        `json:"warm_hits"`
+	Switch   stats.Summary `json:"switch"`
+	Recovery stats.Summary `json:"recovery"`
+}
+
+// MemoryReport sums the per-runtime recovery page caches.
+type MemoryReport struct {
+	DistinctPages   uint64  `json:"distinct_pages"`
+	DedupedPages    uint64  `json:"deduped_pages"`
+	BytesSaved      uint64  `json:"bytes_saved"`
+	BytesSavedTotal uint64  `json:"bytes_saved_total"`
+	DedupRatio      float64 `json:"dedup_ratio"`
+}
+
+// CounterReport sums the runtimes' absolute counters.
+type CounterReport struct {
+	Events              uint64  `json:"events"`
+	Switches            uint64  `json:"switches"`
+	Recoveries          uint64  `json:"recoveries"`
+	InstantRecoveries   uint64  `json:"instant_recoveries"`
+	InterruptRecoveries uint64  `json:"interrupt_recoveries"`
+	WarmHits            uint64  `json:"warm_hits"`
+	IdleSwitches        uint64  `json:"idle_switches"`
+	ElapsedCycles       uint64  `json:"elapsed_cycles"` // slowest runtime
+	EventsPerSecond     float64 `json:"events_per_second"`
+}
+
+// AllocReport records the hot-path allocation pins measured on this
+// machine alongside the charged-cycle numbers (satellite of the
+// zero-alloc guarantee; excluded from the report digest like wall time).
+type AllocReport struct {
+	SnapshotSwitch float64 `json:"snapshot_switch_allocs_per_op"`
+	LegacySwitch   float64 `json:"legacy_switch_allocs_per_op"`
+}
+
+// FleetReport describes the control-plane side of a fleet-mode run.
+type FleetReport struct {
+	Nodes         int      `json:"nodes"`
+	CatalogDigest string   `json:"catalog_digest"`
+	Converged     bool     `json:"converged"`
+	JoinBytes     []uint64 `json:"join_bytes"`
+	RelayedEvents uint64   `json:"relayed_events"`
+}
+
+// Report is the machine-readable run result (BENCH_load.json).
+type Report struct {
+	GeneratedBy  string                   `json:"generated_by"`
+	Config       ConfigReport             `json:"config"`
+	TraceDigest  string                   `json:"trace_digest"`
+	ReportDigest string                   `json:"report_digest"`
+	Aggregate    OpLatency                `json:"aggregate_cycles"`
+	WallNS       stats.Summary            `json:"wall_ns"`
+	Apps         []AppReport              `json:"apps"`
+	Memory       MemoryReport             `json:"memory"`
+	Counters     CounterReport            `json:"counters"`
+	Telemetry    telemetry.HistogramStats `json:"telemetry"`
+	Allocs       *AllocReport             `json:"allocs,omitempty"`
+	Fleet        *FleetReport             `json:"fleet,omitempty"`
+	SLO          []SLOResult              `json:"slo,omitempty"`
+}
+
+// assemble merges per-runtime results (in runtime-index order, so the
+// outcome is deterministic) into the report and stamps its digest.
+func assemble(cfg *RunConfig, specs []*appSpec, results []*runtimeResult, fleet *FleetReport) *Report {
+	tc := cfg.Trace.Cfg
+	rep := &Report{
+		GeneratedBy: "fcload",
+		Config: ConfigReport{
+			Seed: tc.Seed, Apps: tc.Apps, Skew: tc.Skew, Events: tc.Events,
+			CPUs: tc.CPUs, Arrival: tc.Arrival, Rate: tc.Rate, Think: tc.Think,
+			Shape: tc.Shape, Runtimes: cfg.Runtimes, Legacy: cfg.Legacy,
+			Profile: cfg.Profile, Nodes: cfg.Nodes,
+		},
+		TraceDigest: cfg.Trace.DigestString(),
+		Fleet:       fleet,
+	}
+
+	var sw, resu, rec, all, wall stats.Hist
+	sink := telemetry.NewHistogramSink()
+	for _, r := range results {
+		sw.Merge(&r.sw)
+		resu.Merge(&r.resu)
+		rec.Merge(&r.rec)
+		all.Merge(&r.all)
+		wall.Merge(&r.wall)
+		sink.Merge(r.sink)
+
+		rep.Counters.Events += r.events
+		rep.Counters.Switches += r.switches
+		rep.Counters.Recoveries += r.recoveries
+		rep.Counters.InstantRecoveries += r.instant
+		rep.Counters.InterruptRecoveries += r.interrupt
+		rep.Counters.WarmHits += r.warm
+		rep.Counters.IdleSwitches += r.idle
+		if r.cycles > rep.Counters.ElapsedCycles {
+			rep.Counters.ElapsedCycles = r.cycles
+		}
+
+		rep.Memory.DistinctPages += uint64(r.cache.DistinctPages)
+		rep.Memory.DedupedPages += r.cache.DedupedPages
+		rep.Memory.BytesSaved += r.cache.BytesSaved
+		rep.Memory.BytesSavedTotal += r.cache.BytesSavedTotal
+	}
+	if total := rep.Memory.DistinctPages + rep.Memory.DedupedPages; total > 0 {
+		rep.Memory.DedupRatio = float64(rep.Memory.DedupedPages) / float64(total)
+	}
+	if rep.Counters.ElapsedCycles > 0 {
+		rep.Counters.EventsPerSecond = float64(rep.Counters.Events) /
+			(float64(rep.Counters.ElapsedCycles) / CyclesPerSecond)
+	}
+	rep.Aggregate = OpLatency{
+		All:      all.Summarize(),
+		Switch:   sw.Summarize(),
+		Resume:   resu.Summarize(),
+		Recovery: rec.Summarize(),
+	}
+	rep.WallNS = wall.Summarize()
+	rep.Telemetry = sink.Stats()
+
+	for _, spec := range specs {
+		r := results[spec.idx%len(results)]
+		ar := AppReport{App: spec.name, Share: cfg.Trace.Shares[spec.idx]}
+		if a, ok := r.apps[spec.idx]; ok {
+			ar.Events = a.events
+			ar.WarmHits = a.warm
+			ar.Switch = a.sw.Summarize()
+			ar.Recovery = a.rec.Summarize()
+		}
+		rep.Apps = append(rep.Apps, ar)
+	}
+	rep.ReportDigest = rep.digestString()
+	return rep
+}
+
+func foldSummary(h *fnv1a, s stats.Summary) {
+	h.u64(s.Count)
+	h.u64(s.Min)
+	h.u64(s.Max)
+	h.u64(math.Float64bits(s.Mean))
+	h.u64(s.P50)
+	h.u64(s.P95)
+	h.u64(s.P99)
+	h.u64(s.P999)
+}
+
+// digest folds the deterministic report sections: configuration, trace
+// digest, aggregate charged-cycle latencies, per-app rows, counters and
+// memory. Wall time, allocation measurements, telemetry relay totals and
+// the SLO verdicts are excluded — they may vary across hosts without the
+// benchmark result itself changing.
+func (r *Report) digest() uint64 {
+	h := newFNV()
+	h.str(r.TraceDigest)
+	h.u64(uint64(r.Config.Seed))
+	h.byte(byte(r.Config.Apps))
+	h.u64(math.Float64bits(r.Config.Skew))
+	h.u64(uint64(r.Config.Events))
+	h.byte(byte(r.Config.CPUs))
+	h.str(r.Config.Arrival)
+	h.u64(math.Float64bits(r.Config.Rate))
+	h.u64(r.Config.Think)
+	h.str(r.Config.Shape)
+	h.byte(byte(r.Config.Runtimes))
+	if r.Config.Legacy {
+		h.byte(1)
+	} else {
+		h.byte(0)
+	}
+	foldSummary(&h, r.Aggregate.All)
+	foldSummary(&h, r.Aggregate.Switch)
+	foldSummary(&h, r.Aggregate.Resume)
+	foldSummary(&h, r.Aggregate.Recovery)
+	for _, a := range r.Apps {
+		h.str(a.App)
+		h.u64(math.Float64bits(a.Share))
+		h.u64(a.Events)
+		h.u64(a.WarmHits)
+		foldSummary(&h, a.Switch)
+		foldSummary(&h, a.Recovery)
+	}
+	h.u64(r.Counters.Events)
+	h.u64(r.Counters.Switches)
+	h.u64(r.Counters.Recoveries)
+	h.u64(r.Counters.InstantRecoveries)
+	h.u64(r.Counters.InterruptRecoveries)
+	h.u64(r.Counters.WarmHits)
+	h.u64(r.Counters.IdleSwitches)
+	h.u64(r.Counters.ElapsedCycles)
+	h.u64(r.Memory.DistinctPages)
+	h.u64(r.Memory.DedupedPages)
+	h.u64(r.Memory.BytesSaved)
+	h.u64(r.Memory.BytesSavedTotal)
+	return uint64(h)
+}
+
+func (r *Report) digestString() string { return fmt.Sprintf("%016x", r.digest()) }
+
+// JSON renders the report for BENCH_load.json.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Format renders the report for terminals.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fcload: seed=%d apps=%d skew=%.2f events=%d arrival=%s shape=%s runtimes=%d",
+		r.Config.Seed, r.Config.Apps, r.Config.Skew, r.Config.Events,
+		r.Config.Arrival, r.Config.Shape, r.Config.Runtimes)
+	if r.Config.Legacy {
+		b.WriteString(" legacy")
+	}
+	if r.Config.Profile {
+		b.WriteString(" profiled-views")
+	}
+	if r.Fleet != nil {
+		fmt.Fprintf(&b, " fleet=%d", r.Fleet.Nodes)
+	}
+	fmt.Fprintf(&b, "\ntrace digest  %s\nreport digest %s\n", r.TraceDigest, r.ReportDigest)
+
+	row := func(name string, s stats.Summary) {
+		fmt.Fprintf(&b, "  %-9s n=%-8d p50=%-8d p95=%-8d p99=%-8d p999=%-8d max=%d\n",
+			name, s.Count, s.P50, s.P95, s.P99, s.P999, s.Max)
+	}
+	b.WriteString("latency (charged cycles):\n")
+	row("all", r.Aggregate.All)
+	row("switch", r.Aggregate.Switch)
+	row("resume", r.Aggregate.Resume)
+	row("recovery", r.Aggregate.Recovery)
+	b.WriteString("latency (wall ns):\n")
+	row("all", r.WallNS)
+
+	b.WriteString("per-app:\n")
+	for _, a := range r.Apps {
+		fmt.Fprintf(&b, "  %-10s share=%5.1f%% events=%-7d sw.p99=%-8d rec.p99=%-8d warm=%d\n",
+			a.App, a.Share*100, a.Events, a.Switch.P99, a.Recovery.P99, a.WarmHits)
+	}
+	fmt.Fprintf(&b, "counters: %d events, %d switches, %d recoveries (%d instant, %d interrupt), %d warm hits, %d idle, %.0f ev/s simulated\n",
+		r.Counters.Events, r.Counters.Switches, r.Counters.Recoveries,
+		r.Counters.InstantRecoveries, r.Counters.InterruptRecoveries,
+		r.Counters.WarmHits, r.Counters.IdleSwitches, r.Counters.EventsPerSecond)
+	fmt.Fprintf(&b, "memory: %d distinct pages, %d deduped (%.1f%%), %dB saved now, %dB saved cumulative\n",
+		r.Memory.DistinctPages, r.Memory.DedupedPages, r.Memory.DedupRatio*100,
+		r.Memory.BytesSaved, r.Memory.BytesSavedTotal)
+	if r.Allocs != nil {
+		fmt.Fprintf(&b, "allocs: snapshot switch %.1f/op, legacy switch %.1f/op\n",
+			r.Allocs.SnapshotSwitch, r.Allocs.LegacySwitch)
+	}
+	if r.Fleet != nil {
+		fmt.Fprintf(&b, "fleet: %d nodes, catalog %s, converged=%v, %d telemetry events relayed\n",
+			r.Fleet.Nodes, r.Fleet.CatalogDigest, r.Fleet.Converged, r.Fleet.RelayedEvents)
+	}
+	for _, s := range r.SLO {
+		verdict := "PASS"
+		if !s.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "slo: %-4s %s <= %d (actual %d)\n", verdict, s.Metric, s.Bound, s.Actual)
+	}
+	return b.String()
+}
+
+// SLO is one latency bound: Metric must not exceed Bound charged cycles.
+type SLO struct {
+	Metric string
+	Bound  uint64
+}
+
+// SLOResult is one checked bound.
+type SLOResult struct {
+	Metric string `json:"metric"`
+	Bound  uint64 `json:"bound"`
+	Actual uint64 `json:"actual"`
+	Pass   bool   `json:"pass"`
+}
+
+// sloSections maps a metric prefix to the summary it reads.
+var sloSections = []string{"all", "switch", "resume", "recovery", "wall"}
+
+// ParseSLOs parses a -slo spec: comma-separated metric=bound pairs where
+// a metric is a quantile name (p50, p95, p99, p999, min, max, mean) with
+// an optional section prefix — all (default), switch, resume, recovery
+// or wall. Example: "p99=40000,recovery.p999=80000,switch.p95=6000".
+func ParseSLOs(spec string) ([]SLO, error) {
+	var out []SLO
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.IndexByte(part, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("load: slo %q: want metric=bound", part)
+		}
+		metric := strings.TrimSpace(part[:eq])
+		bound, err := strconv.ParseUint(strings.TrimSpace(part[eq+1:]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("load: slo %q: bad bound: %v", part, err)
+		}
+		section, q := "all", metric
+		if dot := strings.IndexByte(metric, '.'); dot >= 0 {
+			section, q = metric[:dot], metric[dot+1:]
+		}
+		if !validSection(section) {
+			return nil, fmt.Errorf("load: slo %q: unknown section %q", part, section)
+		}
+		if _, ok := (stats.Summary{}).Quantile(q); !ok {
+			return nil, fmt.Errorf("load: slo %q: unknown quantile %q", part, q)
+		}
+		out = append(out, SLO{Metric: metric, Bound: bound})
+	}
+	return out, nil
+}
+
+var sortedSections = func() []string {
+	s := append([]string(nil), sloSections...)
+	sort.Strings(s)
+	return s
+}()
+
+func validSection(s string) bool {
+	i := sort.SearchStrings(sortedSections, s)
+	return i < len(sortedSections) && sortedSections[i] == s
+}
+
+// ApplySLOs evaluates the bounds against the report, records the verdicts
+// in r.SLO, and reports whether every bound passed.
+func (r *Report) ApplySLOs(slos []SLO) bool {
+	ok := true
+	r.SLO = r.SLO[:0]
+	for _, s := range slos {
+		section, q := "all", s.Metric
+		if dot := strings.IndexByte(s.Metric, '.'); dot >= 0 {
+			section, q = s.Metric[:dot], s.Metric[dot+1:]
+		}
+		var sum stats.Summary
+		switch section {
+		case "all":
+			sum = r.Aggregate.All
+		case "switch":
+			sum = r.Aggregate.Switch
+		case "resume":
+			sum = r.Aggregate.Resume
+		case "recovery":
+			sum = r.Aggregate.Recovery
+		case "wall":
+			sum = r.WallNS
+		}
+		actual, _ := sum.Quantile(q)
+		pass := actual <= s.Bound
+		r.SLO = append(r.SLO, SLOResult{Metric: s.Metric, Bound: s.Bound, Actual: actual, Pass: pass})
+		ok = ok && pass
+	}
+	return ok
+}

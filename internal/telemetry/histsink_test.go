@@ -1,0 +1,62 @@
+package telemetry
+
+import "testing"
+
+func TestHistogramSinkAggregates(t *testing.T) {
+	s := NewHistogramSink()
+	s.HandleEvent(Event{Kind: KindRecovery, View: "apache", N: 128})
+	s.HandleEvent(Event{Kind: KindRecovery, View: "apache", N: 512})
+	s.HandleEvent(Event{Kind: KindRecovery, View: "gzip", N: 64})
+	s.HandleEvent(Event{Kind: KindEPTPSwap, View: "apache"})
+	s.HandleEvent(Event{Kind: KindSwitch, View: "gzip"})
+	s.HandleEvent(Event{Kind: KindCacheHit, View: "gzip", N: 10})
+	s.HandleEvent(Event{Kind: KindCacheMiss, View: "gzip", N: 3})
+
+	st := s.Stats()
+	if st.Total != 7 {
+		t.Fatalf("total = %d, want 7", st.Total)
+	}
+	if st.ByKind["recovery"] != 3 || st.ByKind["eptp-swap"] != 1 || st.ByKind["switch"] != 1 {
+		t.Errorf("by-kind counts wrong: %v", st.ByKind)
+	}
+	rb := st.RecoveredBytes
+	if rb.Count != 3 || rb.Min != 64 || rb.Max != 512 {
+		t.Errorf("recovered-bytes summary = %+v", rb)
+	}
+	ap := st.ByView["apache"]
+	if ap.Recoveries != 2 || ap.RecoveredBytes != 640 || ap.Switches != 1 {
+		t.Errorf("apache view stats = %+v", ap)
+	}
+	gz := st.ByView["gzip"]
+	if gz.CacheHitPages != 10 || gz.CacheMissPages != 3 || gz.Switches != 1 {
+		t.Errorf("gzip view stats = %+v", gz)
+	}
+}
+
+func TestHistogramSinkMerge(t *testing.T) {
+	a, b := NewHistogramSink(), NewHistogramSink()
+	a.HandleEvent(Event{Kind: KindRecovery, View: "apache", N: 100})
+	b.HandleEvent(Event{Kind: KindRecovery, View: "apache", N: 200})
+	b.HandleEvent(Event{Kind: KindEPTPSwap, View: "vsftpd"})
+	a.Merge(b)
+	st := a.Stats()
+	if st.Total != 3 || st.RecoveredBytes.Count != 2 {
+		t.Fatalf("merged stats = %+v", st)
+	}
+	if st.ByView["apache"].RecoveredBytes != 300 {
+		t.Errorf("merged apache bytes = %d, want 300", st.ByView["apache"].RecoveredBytes)
+	}
+	if st.ByView["vsftpd"].Switches != 1 {
+		t.Errorf("merged vsftpd switches = %d, want 1", st.ByView["vsftpd"].Switches)
+	}
+}
+
+func TestHistogramSinkAsEmitter(t *testing.T) {
+	// The sink satisfies Emitter so a Runtime can stream into it directly,
+	// without a hub in between.
+	var e Emitter = NewHistogramSink()
+	e.Emit(Event{Kind: KindRecovery, N: 32})
+	if st := e.(*HistogramSink).Stats(); st.Total != 1 {
+		t.Fatalf("emitted event not aggregated: %+v", st)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"facechange/internal/stats"
 )
 
 // SinkFunc adapts a function to a Sink.
@@ -147,6 +149,125 @@ func sortedKeys(m map[string]uint64) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// ViewHistStats is a per-view slice of a HistogramSink's aggregation.
+type ViewHistStats struct {
+	Switches       uint64 `json:"switches"`
+	Recoveries     uint64 `json:"recoveries"`
+	RecoveredBytes uint64 `json:"recovered_bytes"`
+	CacheHitPages  uint64 `json:"cache_hit_pages"`
+	CacheMissPages uint64 `json:"cache_miss_pages"`
+}
+
+// HistogramStats is a point-in-time snapshot of a HistogramSink.
+type HistogramStats struct {
+	Total          uint64                   `json:"total"`
+	ByKind         map[string]uint64        `json:"by_kind"`
+	RecoveredBytes stats.Summary            `json:"recovered_bytes"`
+	ByView         map[string]ViewHistStats `json:"by_view,omitempty"`
+}
+
+// HistogramSink aggregates the stream into distribution form: per-kind
+// counts, a recovered-bytes histogram (how large the code spans pulled
+// into views are — the paper's Table II column, now with percentiles) and
+// per-view switch/recovery/cache breakdowns. It is the load harness's
+// telemetry hook: cheap enough to attach directly as the runtime's
+// emitter (one mutex, histogram records, no allocation per event for
+// known views), and mergeable across runtimes for the fleet report.
+type HistogramSink struct {
+	mu       sync.Mutex
+	total    uint64
+	byKind   [NumKinds]uint64
+	recBytes stats.Hist
+	byView   map[string]*ViewHistStats
+}
+
+// NewHistogramSink creates an empty histogram sink.
+func NewHistogramSink() *HistogramSink {
+	return &HistogramSink{byView: make(map[string]*ViewHistStats)}
+}
+
+// HandleEvent implements Sink. Emit-compatible, so the sink can be
+// attached directly as a Runtime emitter.
+func (s *HistogramSink) HandleEvent(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total++
+	if int(ev.Kind) < len(s.byKind) {
+		s.byKind[ev.Kind]++
+	}
+	view := func() *ViewHistStats {
+		v, ok := s.byView[ev.View]
+		if !ok {
+			v = &ViewHistStats{}
+			s.byView[ev.View] = v
+		}
+		return v
+	}
+	switch ev.Kind {
+	case KindRecovery:
+		s.recBytes.Record(ev.N)
+		v := view()
+		v.Recoveries++
+		v.RecoveredBytes += ev.N
+	case KindSwitch, KindEPTPSwap:
+		view().Switches++
+	case KindCacheHit:
+		view().CacheHitPages += ev.N
+	case KindCacheMiss:
+		view().CacheMissPages += ev.N
+	}
+}
+
+// Emit implements Emitter (direct attachment to a Runtime).
+func (s *HistogramSink) Emit(ev Event) { s.HandleEvent(ev) }
+
+// Merge folds another sink's aggregation into s (combining per-runtime
+// sinks into one fleet-wide view).
+func (s *HistogramSink) Merge(other *HistogramSink) {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total += other.total
+	for k, n := range other.byKind {
+		s.byKind[k] += n
+	}
+	s.recBytes.Merge(&other.recBytes)
+	for name, o := range other.byView {
+		v, ok := s.byView[name]
+		if !ok {
+			v = &ViewHistStats{}
+			s.byView[name] = v
+		}
+		v.Switches += o.Switches
+		v.Recoveries += o.Recoveries
+		v.RecoveredBytes += o.RecoveredBytes
+		v.CacheHitPages += o.CacheHitPages
+		v.CacheMissPages += o.CacheMissPages
+	}
+}
+
+// Stats snapshots the aggregation.
+func (s *HistogramSink) Stats() HistogramStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := HistogramStats{
+		Total:          s.total,
+		ByKind:         make(map[string]uint64, NumKinds),
+		RecoveredBytes: s.recBytes.Summarize(),
+		ByView:         make(map[string]ViewHistStats, len(s.byView)),
+	}
+	for k := Kind(0); k < NumKinds; k++ {
+		if s.byKind[k] != 0 {
+			st.ByKind[k.String()] = s.byKind[k]
+		}
+	}
+	for name, v := range s.byView {
+		st.ByView[name] = *v
+	}
+	return st
 }
 
 // JSONLWriter is a sink that writes each event as one JSON line. Wrap the
