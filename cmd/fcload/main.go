@@ -8,11 +8,14 @@
 // The run is deterministic: the same seed and flags reproduce the same
 // trace digest and the same report digest, which CI compares across runs.
 // The -slo flag turns the report into a gate — the process exits 1 when
-// any bound is exceeded.
+// any bound is exceeded. The -diff flag compares the run against a prior
+// JSON report of the same trace and fails on charged-cycle percentile
+// regressions beyond -difftol.
 //
 //	fcload -seed 1 -apps 12 -skew 1.1 -events 1000000
 //	fcload -seed 7 -arrival closed -think 4000 -slo p99=60000,recovery.p999=200000
 //	fcload -seed 1 -fleet -nodes 3 -events 50000 -out BENCH_load.json
+//	fcload -seed 1 -events 50000 -diff BENCH_load.json -difftol 0.10
 package main
 
 import (
@@ -41,6 +44,8 @@ func main() {
 		fleetM   = flag.Bool("fleet", false, "drive fleet nodes synced from a control-plane server instead of local runtimes")
 		nodes    = flag.Int("nodes", 3, "fleet size under -fleet")
 		slo      = flag.String("slo", "", "comma-separated latency bounds, e.g. p99=40000,recovery.p999=200000")
+		diffPath = flag.String("diff", "", "compare against a prior JSON report; exit 1 on percentile regression beyond -difftol")
+		diffTol  = flag.Float64("difftol", 0.10, "fractional slowdown tolerated by -diff (0.10 = +10%)")
 		out      = flag.String("out", "", "write the JSON report to this file")
 		noalloc  = flag.Bool("noalloc", false, "skip the hot-path allocation probes")
 		verbose  = flag.Bool("v", false, "log progress")
@@ -106,6 +111,25 @@ func main() {
 	}
 
 	fmt.Print(rep.Format())
+
+	if *diffPath != "" {
+		prior, err := load.ReadReport(*diffPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		d, err := load.DiffReports(prior, rep, *diffTol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Print(d.Format())
+		if !d.OK() {
+			fmt.Fprintln(os.Stderr, "fcload: trend gate failed")
+			os.Exit(1)
+		}
+	}
+
 	if !pass {
 		fmt.Fprintln(os.Stderr, "fcload: SLO gate failed")
 		os.Exit(1)

@@ -15,9 +15,16 @@
 //     replayed — the victim's clean run seeds the baseline, then the
 //     infected run streams through the engine.
 //
-//     fcmon -steps 20000 -mix churn -listen :9130
-//     fcmon -attack KBeast -syscalls 400
-//     fcmon -list
+// With -evolve (simulator mode), the online view-evolution loop runs
+// live: benign recoveries aggregate into candidate ranges and promote
+// into hot-plugged view generations, and /metrics gains the
+// facechange_evolve_* series (generations, promoted bytes, denied
+// events, per-app attack surface).
+//
+//	fcmon -steps 20000 -mix churn -listen :9130
+//	fcmon -evolve -steps 50000 -mix default -listen :9130
+//	fcmon -attack KBeast -syscalls 400
+//	fcmon -list
 package main
 
 import (
@@ -44,12 +51,13 @@ func main() {
 		tailN  = flag.Int("tail", 10, "verdicts printed at exit")
 
 		// Simulator mode.
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		steps  = flag.Int("steps", 20000, "simulation events")
-		faults = flag.String("faults", "none", "fault channels: all, none, or csv of vmi,stack,phys,scan,ept,cache")
-		rate   = flag.Float64("rate", 0.01, "per-operation fault probability")
-		cpus   = flag.Int("cpus", 2, "number of vCPUs (max 8)")
-		mix    = flag.String("mix", "churn", "event mix: default, or churn (hidden-module heavy)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		steps   = flag.Int("steps", 20000, "simulation events")
+		faults  = flag.String("faults", "none", "fault channels: all, none, or csv of vmi,stack,phys,scan,ept,cache")
+		rate    = flag.Float64("rate", 0.01, "per-operation fault probability")
+		cpus    = flag.Int("cpus", 2, "number of vCPUs (max 8)")
+		mix     = flag.String("mix", "churn", "event mix: default, or churn (hidden-module heavy)")
+		evolveF = flag.Bool("evolve", false, "run the online view-evolution loop (simulator mode); /metrics gains facechange_evolve_* series")
 
 		// Attack mode.
 		attack   = flag.String("attack", "", "replay a catalog attack by name, or \"all\"")
@@ -92,6 +100,7 @@ func main() {
 			FaultRate: *rate,
 			Mix:       *mix,
 			Sinks:     sinks,
+			Evolve:    *evolveF,
 		}, *faults, *listen, *hold, *tailN)
 	}
 	if jw != nil {
@@ -118,7 +127,11 @@ func runSim(cfg sim.Config, faults, listen string, hold bool, tailN int) error {
 		return err
 	}
 	hub, agg, eng := s.Pipeline()
-	if err := serve(listen, hub, agg, eng); err != nil {
+	srcs := []telemetry.MetricSource{hub, agg, eng}
+	if evo := s.Evolver(); evo != nil {
+		srcs = append(srcs, evo)
+	}
+	if err := serve(listen, srcs...); err != nil {
 		return err
 	}
 
@@ -129,6 +142,11 @@ func runSim(cfg sim.Config, faults, listen string, hold bool, tailN int) error {
 		fmt.Printf("fcmon: %d suspect verdicts (%d unknown-origin), %d events, %d drops\n",
 			res.Telemetry.SuspectVerdicts, res.Telemetry.UnknownVerdicts,
 			res.Telemetry.Consumed, res.Telemetry.Drops)
+		if res.Evolve.Enabled {
+			fmt.Printf("fcmon: %d generations hot-plugged (%d ranges, %d bytes), %d denied\n",
+				res.Evolve.Generations, res.Evolve.PromotedRanges,
+				res.Evolve.PromotedBytes, res.Evolve.Denied)
+		}
 	}
 	if runErr != nil {
 		return runErr
@@ -185,7 +203,7 @@ func runAttack(name string, syscalls int, listen string, hold bool, tailN int, s
 	fmt.Printf("fcmon: %d suspect verdicts (%d unknown-origin), %d recoveries classified, %d drops\n",
 		res.Stats.Suspicious(), res.Stats.ByClass[detect.ClassUnknownOrigin],
 		res.Stats.Recoveries, res.Drops)
-	if err := serve(listen, res.Engine, agg, nil); err != nil {
+	if err := serve(listen, res.Engine, agg); err != nil {
 		return err
 	}
 	return wait(hold)
@@ -195,7 +213,7 @@ func runAttack(name string, syscalls int, listen string, hold bool, tailN int, s
 // immediately curl-able) and serves /metrics and /events in the
 // background. The nil-tolerant MetricsHandler takes whichever sources the
 // mode has.
-func serve(listen string, m1, m2, m3 telemetry.MetricSource) error {
+func serve(listen string, srcs ...telemetry.MetricSource) error {
 	if listen == "" {
 		return nil
 	}
@@ -204,8 +222,8 @@ func serve(listen string, m1, m2, m3 telemetry.MetricSource) error {
 		return fmt.Errorf("fcmon: listen: %w", err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", telemetry.MetricsHandler(m1, m2, m3))
-	for _, src := range []telemetry.MetricSource{m1, m2, m3} {
+	mux.Handle("/metrics", telemetry.MetricsHandler(srcs...))
+	for _, src := range srcs {
 		if t, ok := src.(telemetry.Tailer); ok {
 			mux.Handle("/events", telemetry.EventsHandler(t))
 			break

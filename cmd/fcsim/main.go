@@ -35,6 +35,7 @@ func main() {
 		legacy  = flag.Bool("legacy", false, "use the paper's per-entry EPT rewrite switch path instead of snapshot root swaps")
 		mix     = flag.String("mix", "default", "event mix: default, or churn (module/view hotplug heavy)")
 		notel   = flag.Bool("notelemetry", false, "detach the telemetry pipeline (skips stream-completeness checks)")
+		evolveF = flag.Bool("evolve", false, "run the online view-evolution loop: benign recoveries promote into hot-plugged view generations (changes the digest)")
 		verbose = flag.Bool("v", false, "log progress")
 	)
 	flag.Parse()
@@ -58,6 +59,7 @@ func main() {
 		LegacySwitch: *legacy,
 		Mix:          *mix,
 		NoTelemetry:  *notel,
+		Evolve:       *evolveF,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -75,6 +77,9 @@ func main() {
 		}
 		if *mix != "default" {
 			extra += " -mix " + *mix
+		}
+		if *evolveF {
+			extra += " -evolve"
 		}
 		fmt.Fprintf(os.Stderr, "replay: go run ./cmd/fcsim -seed %d -steps %d -faults %s -rate %g -cpus %d%s\n",
 			*seed, *steps, kinds, *rate, *cpus, extra)

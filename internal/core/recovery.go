@@ -46,7 +46,7 @@ func (r *Runtime) OnInvalidOpcode(m *hv.Machine, cpu *hv.CPU) (bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st := r.cpus[cpu.ID]
-	v := r.ViewByIndex(st.active)
+	v := r.viewByIndex(st.active)
 	if v == nil {
 		// UD2 under the full kernel view is a genuine guest fault, not a
 		// view violation.

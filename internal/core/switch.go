@@ -92,8 +92,8 @@ func (r *Runtime) applySwitch(cpu *hv.CPU, idx int) {
 		// full view: nothing to rewrite.
 		return
 	}
-	old := r.ViewByIndex(st.active)
-	next := r.ViewByIndex(idx)
+	old := r.viewByIndex(st.active)
+	next := r.viewByIndex(idx)
 
 	if r.opts.SnapshotSwitch {
 		// Fast path: the whole switch — base kernel text and every module
@@ -177,7 +177,7 @@ func (r *Runtime) emitSwitch(cpu *hv.CPU, idx int, kind telemetry.Kind) {
 		return
 	}
 	var view string
-	if v := r.ViewByIndex(idx); v != nil {
+	if v := r.viewByIndex(idx); v != nil {
 		view = v.Name
 	}
 	r.emit.Emit(telemetry.Event{

@@ -510,7 +510,7 @@ func (r *Runtime) viewWrite(v *LoadedView, gva uint32, data []byte) error {
 // the vCPU's EPT at switch time and must be rewritten.
 func (r *Runtime) remapLive(v *LoadedView, gpaPage, hpa uint32, isText bool) {
 	for i, st := range r.cpus {
-		if r.ViewByIndex(st.active) != v {
+		if r.viewByIndex(st.active) != v {
 			continue
 		}
 		if isText && r.opts.PDGranularSwitch {
@@ -560,8 +560,11 @@ func (r *Runtime) funcSpan(start, end, regionStart, regionEnd uint32) (uint32, u
 }
 
 // ViewIndex returns the view index assigned to an application name, or
-// FullView if none.
+// FullView if none. Safe concurrently with hot-plug (fleet pushes, the
+// evolution loop's generation publishes).
 func (r *Runtime) ViewIndex(app string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if idx, ok := r.byName[app]; ok {
 		return idx
 	}
@@ -578,8 +581,15 @@ func (r *Runtime) viewIndexBytes(app []byte) int {
 	return FullView
 }
 
-// ViewByIndex returns a loaded view (nil for FullView).
+// ViewByIndex returns a loaded view (nil for FullView). Safe concurrently
+// with hot-plug; trap-path callers that already hold mu use viewByIndex.
 func (r *Runtime) ViewByIndex(idx int) *LoadedView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.viewByIndex(idx)
+}
+
+func (r *Runtime) viewByIndex(idx int) *LoadedView {
 	if idx <= FullView || idx >= len(r.views) {
 		return nil
 	}
@@ -607,7 +617,9 @@ func (r *Runtime) AssignView(app string, idx int) error {
 // profiling test suite". Loading the returned configuration in a future
 // session avoids re-recovering the same code.
 func (r *Runtime) AmelioratedView(idx int) (*kview.View, error) {
-	v := r.ViewByIndex(idx)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.viewByIndex(idx)
 	if v == nil {
 		return nil, fmt.Errorf("core: no view %d", idx)
 	}
@@ -628,7 +640,7 @@ func (r *Runtime) AmelioratedView(idx int) (*kview.View, error) {
 func (r *Runtime) UnloadView(idx int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	v := r.ViewByIndex(idx)
+	v := r.viewByIndex(idx)
 	if v == nil {
 		return fmt.Errorf("core: no view %d", idx)
 	}

@@ -213,6 +213,14 @@ func UnknownOrigin(ev telemetry.Event) bool {
 // fnBase strips the +0x offset from a symbolized name.
 func fnBase(sym string) string { return strings.SplitN(sym, "+", 2)[0] }
 
+// Classify applies the provenance taxonomy to one recovery event without
+// recording it — the read-only classification the evolution loop's verdict
+// gate is keyed on. The engine's configuration is immutable after New, so
+// Classify is safe for concurrent use and never perturbs HandleEvent's
+// counters or rate windows. Non-recovery events classify as ClassLazy
+// (callers gate on Kind first).
+func (e *Engine) Classify(ev telemetry.Event) Class { return e.classify(ev) }
+
 // HandleEvent implements telemetry.Sink: classify recovery events, keep
 // everything else for free (the engine only reacts to recoveries).
 func (e *Engine) HandleEvent(ev telemetry.Event) {

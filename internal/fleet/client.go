@@ -71,6 +71,7 @@ type Node struct {
 	refs      map[Hash]struct{}
 	loaded    map[string]loadedView
 	last      Manifest // last completely synced catalog
+	synced    bool     // n.last is a real catalog, not the zero value
 	connected bool
 	lastErr   error
 
@@ -78,6 +79,7 @@ type Node struct {
 	bytesOut atomic.Uint64
 	syncs    atomic.Uint64
 	retries  atomic.Uint64
+	stale    atomic.Uint64 // catalogs ignored because an older gen arrived
 
 	done    chan struct{}
 	wg      sync.WaitGroup
@@ -177,13 +179,14 @@ type NodeStatus struct {
 	Connected bool
 	Gen       uint64
 	Digest    string
-	Views     int
-	Syncs     uint64
-	Retries   uint64
-	BytesIn   uint64
-	BytesOut  uint64
-	Drops     uint64
-	LastErr   string
+	Views      int
+	Syncs      uint64
+	Retries    uint64
+	StaleSkips uint64
+	BytesIn    uint64
+	BytesOut   uint64
+	Drops      uint64
+	LastErr    string
 }
 
 // Status snapshots the node.
@@ -196,11 +199,12 @@ func (n *Node) Status() NodeStatus {
 		Gen:       n.last.Gen,
 		Digest:    n.last.DigestString(),
 		Views:     len(n.last.Views),
-		Syncs:     n.syncs.Load(),
-		Retries:   n.retries.Load(),
-		BytesIn:   n.bytesIn.Load(),
-		BytesOut:  n.bytesOut.Load(),
-		Drops:     n.buf.Drops(),
+		Syncs:      n.syncs.Load(),
+		Retries:    n.retries.Load(),
+		StaleSkips: n.stale.Load(),
+		BytesIn:    n.bytesIn.Load(),
+		BytesOut:   n.bytesOut.Load(),
+		Drops:      n.buf.Drops(),
 	}
 	if n.lastErr != nil {
 		st.LastErr = n.lastErr.Error()
@@ -496,6 +500,23 @@ func (s *session) resync() error {
 // kept so the eventual resume transfers only what is still missing.
 func (s *session) sync(m Manifest) error {
 	n := s.node
+
+	// Newest wins: generations move forward only. A manifest older than
+	// the committed catalog (a slow server response racing a push, or a
+	// replayed frame) is ignored rather than applied — rolling a runtime
+	// back to a stale view set would silently shrink or regress its
+	// kernel views. Skipping generations forward (G to G+2) is fine: a
+	// sync carries the complete catalog, not a delta from G+1.
+	n.mu.Lock()
+	if n.synced && m.Gen < n.last.Gen {
+		have := n.last.Gen
+		n.mu.Unlock()
+		n.stale.Add(1)
+		n.logf("fleet: node %q: ignoring stale catalog gen %d (have gen %d)", n.cfg.ID, m.Gen, have)
+		return nil
+	}
+	n.mu.Unlock()
+
 	needed := m.ChunkSet()
 
 	var want []Hash
@@ -622,6 +643,7 @@ func (s *session) sync(m Manifest) error {
 		}
 	}
 	n.last = m
+	n.synced = true
 	n.mu.Unlock()
 	n.syncs.Add(1)
 	n.logf("fleet: node %q: synced catalog gen %d (%d views, digest %s)", n.cfg.ID, m.Gen, len(m.Views), m.DigestString())

@@ -1,0 +1,130 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"facechange/internal/stats"
+)
+
+// ReadReport loads a prior BENCH_load.json for trend comparison.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load: diff: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("load: diff: %s: %w", path, err)
+	}
+	if rep.ReportDigest == "" || rep.TraceDigest == "" {
+		return nil, fmt.Errorf("load: diff: %s: not an fcload report (missing digests)", path)
+	}
+	return &rep, nil
+}
+
+// MetricDelta is one compared charged-cycle percentile.
+type MetricDelta struct {
+	Metric    string  `json:"metric"` // section.quantile, e.g. "switch.p99"
+	Prior     uint64  `json:"prior"`
+	Current   uint64  `json:"current"`
+	Delta     float64 `json:"delta"` // fractional change; positive = slower
+	Regressed bool    `json:"regressed"`
+}
+
+// DiffResult compares a current run against a prior report.
+type DiffResult struct {
+	PriorDigest   string        `json:"prior_digest"`
+	CurrentDigest string        `json:"current_digest"`
+	Identical     bool          `json:"identical"` // report digests match
+	Tolerance     float64       `json:"tolerance"`
+	Deltas        []MetricDelta `json:"deltas"`
+	Regressions   int           `json:"regressions"`
+}
+
+// diffQuantiles is the percentile set the trend gate watches. Wall time
+// and allocation probes are host-dependent and stay out, matching the
+// report-digest exclusions.
+var diffQuantiles = []string{"p50", "p95", "p99", "p999"}
+
+// DiffReports compares the current run's charged-cycle percentiles
+// against a prior report's, flagging any section quantile that got slower
+// by more than tol (fractional: 0.1 allows +10%). The runs must replay
+// the same trace — comparing different workloads is refused rather than
+// reported as a regression.
+func DiffReports(prior, cur *Report, tol float64) (*DiffResult, error) {
+	if prior.TraceDigest != cur.TraceDigest {
+		return nil, fmt.Errorf("load: diff: trace digests differ (%s vs %s): not the same workload",
+			prior.TraceDigest, cur.TraceDigest)
+	}
+	if tol < 0 {
+		return nil, fmt.Errorf("load: diff: negative tolerance %g", tol)
+	}
+	d := &DiffResult{
+		PriorDigest:   prior.ReportDigest,
+		CurrentDigest: cur.ReportDigest,
+		Identical:     prior.ReportDigest == cur.ReportDigest,
+		Tolerance:     tol,
+	}
+	sections := []struct {
+		name string
+		p, c stats.Summary
+	}{
+		{"all", prior.Aggregate.All, cur.Aggregate.All},
+		{"switch", prior.Aggregate.Switch, cur.Aggregate.Switch},
+		{"resume", prior.Aggregate.Resume, cur.Aggregate.Resume},
+		{"recovery", prior.Aggregate.Recovery, cur.Aggregate.Recovery},
+	}
+	for _, s := range sections {
+		if s.p.Count == 0 || s.c.Count == 0 {
+			continue
+		}
+		for _, q := range diffQuantiles {
+			pv, _ := s.p.Quantile(q)
+			cv, _ := s.c.Quantile(q)
+			md := MetricDelta{Metric: s.name + "." + q, Prior: pv, Current: cv}
+			if pv > 0 {
+				md.Delta = float64(cv)/float64(pv) - 1
+			} else if cv > 0 {
+				md.Delta = 1
+			}
+			md.Regressed = md.Delta > tol
+			if md.Regressed {
+				d.Regressions++
+			}
+			d.Deltas = append(d.Deltas, md)
+		}
+	}
+	return d, nil
+}
+
+// OK reports whether the trend gate passes: no percentile regressed
+// beyond tolerance.
+func (d *DiffResult) OK() bool { return d.Regressions == 0 }
+
+// Format renders the comparison for terminals; regressions are marked so
+// a failing CI log points straight at the slow percentile.
+func (d *DiffResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "diff vs prior %s (tolerance %+.1f%%)\n", d.PriorDigest, d.Tolerance*100)
+	if d.Identical {
+		b.WriteString("  report digests identical — byte-for-byte same benchmark result\n")
+		return b.String()
+	}
+	for _, md := range d.Deltas {
+		mark := ""
+		if md.Regressed {
+			mark = "  REGRESSED"
+		}
+		fmt.Fprintf(&b, "  %-14s %8d -> %-8d %+7.1f%%%s\n",
+			md.Metric, md.Prior, md.Current, md.Delta*100, mark)
+	}
+	if d.Regressions > 0 {
+		fmt.Fprintf(&b, "  %d percentile(s) beyond tolerance\n", d.Regressions)
+	} else {
+		b.WriteString("  within tolerance\n")
+	}
+	return b.String()
+}

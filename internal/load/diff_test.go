@@ -1,0 +1,128 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"facechange/internal/stats"
+)
+
+// synthReport builds a minimal comparable report with one knob: the
+// switch.p99 value.
+func synthReport(swP99 uint64) *Report {
+	mk := func(v uint64) stats.Summary {
+		return stats.Summary{Count: 100, Min: 1, Max: v * 2, Mean: float64(v), P50: v / 2, P95: v, P99: v, P999: v}
+	}
+	r := &Report{
+		TraceDigest: "0123456789abcdef",
+		Aggregate: OpLatency{
+			All:      mk(4000),
+			Switch:   mk(swP99),
+			Resume:   mk(300),
+			Recovery: mk(9000),
+		},
+	}
+	r.ReportDigest = r.digestString()
+	return r
+}
+
+func TestDiffIdenticalRuns(t *testing.T) {
+	a, b := smallRun(t, 1, false), smallRun(t, 1, false)
+	d, err := DiffReports(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Identical || !d.OK() {
+		t.Fatalf("identical runs diff dirty: %+v", d)
+	}
+	if !strings.Contains(d.Format(), "identical") {
+		t.Fatalf("format does not say identical:\n%s", d.Format())
+	}
+}
+
+func TestDiffRefusesDifferentTraces(t *testing.T) {
+	a, b := smallRun(t, 1, false), smallRun(t, 2, false)
+	if _, err := DiffReports(a, b, 0.5); err == nil {
+		t.Fatal("diff across different traces must be refused, not scored")
+	}
+}
+
+func TestDiffRegressionGate(t *testing.T) {
+	prior := synthReport(1000)
+	cur := synthReport(1200) // switch p95/p99/p999 +20%, p50 +20%
+
+	d, err := DiffReports(prior, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("+20%% within 25%% tolerance flagged: %+v", d.Deltas)
+	}
+
+	d, err = DiffReports(prior, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OK() {
+		t.Fatal("+20% beyond 10% tolerance not flagged")
+	}
+	var hit bool
+	for _, md := range d.Deltas {
+		if md.Metric == "switch.p99" && md.Regressed {
+			hit = true
+		}
+		if strings.HasPrefix(md.Metric, "recovery.") && md.Regressed {
+			t.Fatalf("unchanged section flagged: %+v", md)
+		}
+	}
+	if !hit {
+		t.Fatalf("switch.p99 regression not attributed: %+v", d.Deltas)
+	}
+	if !strings.Contains(d.Format(), "REGRESSED") {
+		t.Fatalf("format hides the regression:\n%s", d.Format())
+	}
+}
+
+func TestDiffImprovementPasses(t *testing.T) {
+	d, err := DiffReports(synthReport(1000), synthReport(600), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.OK() {
+		t.Fatalf("a 40%% improvement is not a regression: %+v", d.Deltas)
+	}
+}
+
+func TestReadReportRoundTrip(t *testing.T) {
+	rep := smallRun(t, 5, false)
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "prior.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prior, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DiffReports(prior, rep, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Identical {
+		t.Fatalf("round-tripped report not identical to itself: %+v", d)
+	}
+
+	if _, err := ReadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{}"), 0o644)
+	if _, err := ReadReport(bad); err == nil {
+		t.Fatal("a JSON file without digests is not a report")
+	}
+}

@@ -1,0 +1,22 @@
+package profiler
+
+import "facechange/internal/kview"
+
+// NextGeneration builds the successor of a profiled kernel view: the base
+// generation's ranges merged with base-kernel text spans promoted by the
+// online evolution loop (benign recoveries that crossed the hysteresis
+// threshold). This is the incremental analogue of ViewFor's profile∪irq
+// union — the offline profile stays the foundation, online evidence only
+// ever widens it, and the result keeps the application's name so the
+// runtime and the fleet catalog treat it as a new version of the same
+// view.
+//
+// The returned view is freshly allocated; neither input is mutated.
+func NextGeneration(base *kview.View, promoted kview.RangeList) *kview.View {
+	out := kview.UnionViews(base.App, base)
+	out.App = base.App
+	if len(promoted) > 0 {
+		out.Spaces[kview.BaseKernel] = kview.Union(out.Spaces[kview.BaseKernel], promoted)
+	}
+	return out
+}

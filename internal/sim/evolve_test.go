@@ -1,0 +1,82 @@
+package sim
+
+import "testing"
+
+// TestEvolveMidChurn: the evolution loop runs live against the default and
+// churn mixes with view load/unload churn and context switches interleaved,
+// and the checkEvolve invariants (text bounds, no promotion after a suspect
+// verdict for the same origin, publish errors only from cache pressure)
+// hold at every checker sweep. The loop must actually do work: generations
+// cut, and the baseline-free engine's rate anomalies exercise the deny path.
+func TestEvolveMidChurn(t *testing.T) {
+	for _, mix := range []string{"default", "churn"} {
+		res, err := Run(Config{Steps: 8000, Mix: mix, Evolve: true})
+		if err != nil {
+			t.Fatalf("%s: %v", mix, err)
+		}
+		ev := res.Evolve
+		if !ev.Enabled {
+			t.Fatalf("%s: evolution not enabled", mix)
+		}
+		if ev.Generations == 0 {
+			t.Errorf("%s: no generation cut in %d steps", mix, res.Steps)
+		}
+		if ev.Denied == 0 {
+			t.Errorf("%s: deny path never exercised", mix)
+		}
+		if ev.PublishErrors != 0 {
+			t.Errorf("%s: %d hot-plug publish errors without fault injection", mix, ev.PublishErrors)
+		}
+	}
+}
+
+// TestEvolveDeterminism: the evolution loop is driven synchronously off the
+// deterministic drain cadence, so two identical runs must agree on the
+// digest and every evolution counter.
+func TestEvolveDeterminism(t *testing.T) {
+	cfg := Config{Seed: 5, Steps: 4000, Mix: "churn", Evolve: true, NoPool: true}
+	a, errA := Run(cfg)
+	b, errB := Run(cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("runs failed: %v / %v", errA, errB)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("digest mismatch: %016x != %016x", a.Digest, b.Digest)
+	}
+	if a.Evolve != b.Evolve {
+		t.Fatalf("evolution counters differ:\n%+v\n%+v", a.Evolve, b.Evolve)
+	}
+}
+
+// TestEvolveUnderFaults: with every fault channel open the loop keeps its
+// invariants (checkEvolve runs at each sweep and would turn any breach into
+// a violation); hot-plug publish failures are allowed, but only the ones
+// cache pressure explains — checkEvolve rejects anything else.
+func TestEvolveUnderFaults(t *testing.T) {
+	res, err := Run(Config{Seed: 13, Steps: 6000, Faults: FaultAll, Evolve: true, NoPool: true})
+	if err != nil {
+		t.Fatalf("simulation failed: %v", err)
+	}
+	if res.Evolve.Generations == 0 {
+		t.Error("no generation cut under fault injection")
+	}
+}
+
+// TestEvolveChangesDigest: hot-plugging promoted generations loads new
+// views into the runtime, which the digest observes — the loop is part of
+// the simulated state, not a passive observer like plain telemetry.
+func TestEvolveChangesDigest(t *testing.T) {
+	cfg := Config{Steps: 8000}
+	off, errA := Run(cfg)
+	cfg.Evolve = true
+	on, errB := Run(cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("runs failed: %v / %v", errA, errB)
+	}
+	if on.Evolve.Generations == 0 {
+		t.Fatal("no generation cut; digest comparison is vacuous")
+	}
+	if on.Digest == off.Digest {
+		t.Error("digest identical with and without evolution despite hot-plugged generations")
+	}
+}

@@ -32,6 +32,7 @@ import (
 
 	"facechange/internal/core"
 	"facechange/internal/detect"
+	"facechange/internal/evolve"
 	"facechange/internal/kernel"
 	"facechange/internal/kview"
 	"facechange/internal/mem"
@@ -86,6 +87,12 @@ type Config struct {
 	// (counting sink, aggregator, detection engine) — cmd/fcmon attaches a
 	// JSONL writer here. Ignored under NoTelemetry.
 	Sinks []telemetry.Sink
+	// Evolve attaches the online view-evolution loop: an evolver consumes
+	// the stream behind the detection engine's verdict gate and hot-plugs
+	// promoted generations into the runtime mid-churn. The per-step checks
+	// then cover promotion racing unload/load/switch traffic. Ignored
+	// under NoTelemetry. Changes the digest (promotions load views).
+	Evolve bool
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -150,6 +157,8 @@ type Result struct {
 	Cache mem.CacheStats
 	// Telemetry summarizes the event pipeline (zero when disabled).
 	Telemetry TelemetrySummary
+	// Evolve summarizes the evolution loop (zero when disabled).
+	Evolve EvolveSummary
 	// Violation is the failed invariant, or nil for a clean run.
 	Violation *Violation
 }
@@ -164,6 +173,18 @@ type TelemetrySummary struct {
 	// UnknownVerdicts and SuspectVerdicts count the detection engine's
 	// unknown-origin classifications and total suspected-attack verdicts.
 	UnknownVerdicts, SuspectVerdicts uint64
+}
+
+// EvolveSummary is the evolution loop's end-of-run state.
+type EvolveSummary struct {
+	// Enabled reports whether the loop was attached.
+	Enabled bool
+	// Generations, PromotedRanges and PromotedBytes total the cut
+	// promotions; Denied counts suspect-verdict events refused.
+	Generations, PromotedRanges, PromotedBytes, Denied uint64
+	// PublishErrors counts hot-plug publishes that failed (cache pressure
+	// under fault injection is the only tolerated cause).
+	PublishErrors uint64
 }
 
 // Summary renders the result for humans.
@@ -192,6 +213,11 @@ func (r *Result) Summary() string {
 	if r.Telemetry.Enabled {
 		fmt.Fprintf(&b, "telemetry:  %d events, %d drops, %d unknown-origin verdicts (%d suspect total)\n",
 			r.Telemetry.Consumed, r.Telemetry.Drops, r.Telemetry.UnknownVerdicts, r.Telemetry.SuspectVerdicts)
+	}
+	if r.Evolve.Enabled {
+		fmt.Fprintf(&b, "evolve:     %d generations, %d ranges (+%dB), %d denied, %d publish errors\n",
+			r.Evolve.Generations, r.Evolve.PromotedRanges, r.Evolve.PromotedBytes,
+			r.Evolve.Denied, r.Evolve.PublishErrors)
 	}
 	return b.String()
 }
@@ -240,6 +266,7 @@ type simTelemetry struct {
 	hub *telemetry.Hub
 	agg *telemetry.Aggregator
 	eng *detect.Engine
+	evo *evolve.Evolver // nil unless Config.Evolve
 
 	// Counted by the counting sink, independently of the aggregator and
 	// the engine (all mutation happens on the draining goroutine).
@@ -248,7 +275,7 @@ type simTelemetry struct {
 	ud2Traps   uint64 // KindUD2Trap events seen
 }
 
-func newSimTelemetry(cpus, ringSize int, extra []telemetry.Sink) *simTelemetry {
+func newSimTelemetry(cpus, ringSize int, extra []telemetry.Sink, rt *core.Runtime, evolveOn bool) (*simTelemetry, error) {
 	t := &simTelemetry{
 		agg: telemetry.NewAggregator(0),
 		eng: detect.New(detect.Config{}),
@@ -264,13 +291,32 @@ func newSimTelemetry(cpus, ringSize int, extra []telemetry.Sink) *simTelemetry {
 			t.ud2Traps++
 		}
 	})
-	sinks := append([]telemetry.Sink{count, t.agg, t.eng}, extra...)
+	sinks := []telemetry.Sink{count, t.agg, t.eng}
+	if evolveOn {
+		// Gate on the same engine the pipeline feeds; short hysteresis so
+		// churn-driven recoveries actually promote within a run, with
+		// hot-plug straight into the runtime under test.
+		evo, err := evolve.New(evolve.Config{
+			Detector:     t.eng,
+			MinHits:      2,
+			MinWindows:   1,
+			WindowCycles: 1_000_000,
+			TextSize:     rt.TextSize(),
+			Publish:      evolve.PublishToRuntime(rt),
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.evo = evo
+		sinks = append(sinks, evo)
+	}
+	sinks = append(sinks, extra...)
 	t.hub = telemetry.NewHub(telemetry.HubConfig{
 		CPUs:     cpus,
 		RingSize: ringSize,
 		Sinks:    sinks,
 	})
-	return t
+	return t, nil
 }
 
 // New boots a simulation machine: a KVM-environment kernel with one
@@ -309,8 +355,12 @@ func New(cfg Config) (*Simulator, error) {
 	if !cfg.NoTelemetry {
 		// The hub is drained synchronously at check cadence (no background
 		// goroutine), so the event stream stays deterministic and every
-		// check sees a fully flushed pipeline.
-		tel = newSimTelemetry(cfg.CPUs, cfg.TelemetryRing, cfg.Sinks)
+		// check sees a fully flushed pipeline — promotions cut by the
+		// evolution loop land at those same deterministic points.
+		tel, err = newSimTelemetry(cfg.CPUs, cfg.TelemetryRing, cfg.Sinks, rt, cfg.Evolve)
+		if err != nil {
+			return nil, fmt.Errorf("sim: attach evolution loop: %w", err)
+		}
 		rt.SetEmitter(tel.hub)
 	}
 	rt.Enable()
@@ -359,6 +409,15 @@ func (s *Simulator) Pipeline() (*telemetry.Hub, *telemetry.Aggregator, *detect.E
 		return nil, nil, nil
 	}
 	return s.tel.hub, s.tel.agg, s.tel.eng
+}
+
+// Evolver exposes the attached evolution loop (nil unless Config.Evolve)
+// — a live telemetry.MetricSource for cmd/fcmon and cmd/fcsim.
+func (s *Simulator) Evolver() *evolve.Evolver {
+	if s.tel == nil {
+		return nil
+	}
+	return s.tel.evo
 }
 
 // Run executes cfg.Steps generated events and a final full sweep.
@@ -495,6 +554,46 @@ func (s *Simulator) checkTelemetry() error {
 	if got := s.tel.eng.Stats().ByClass[detect.ClassUnknownOrigin]; got != s.tel.unknown {
 		return fmt.Errorf("telemetry: %d unknown-origin verdicts vs %d unknown-provenance recoveries", got, s.tel.unknown)
 	}
+	return s.checkEvolve()
+}
+
+// checkEvolve verifies the evolution loop's safety mid-churn:
+//
+//   - every promoted range lies inside the base kernel text;
+//   - no generation cut after a suspect verdict promoted a range containing
+//     that verdict's origin (the gate denies and purges the span, so only a
+//     promotion that already happened may cover the address — the sim's
+//     baseline-free engine raises rate anomalies on benign recoveries, which
+//     makes the temporal form the right invariant, not set intersection);
+//   - a failed hot-plug publish is explained by cache pressure, never by
+//     anything the simulation didn't create.
+func (s *Simulator) checkEvolve() error {
+	if s.tel == nil || s.tel.evo == nil {
+		return nil
+	}
+	evo := s.tel.evo
+	if err := evo.LastErr(); err != nil && !errors.Is(err, mem.ErrCachePressure) {
+		return fmt.Errorf("evolve: unexplained publish error: %v", err)
+	}
+	for app := range evo.Stats().Apps {
+		for _, rg := range evo.PromotedRanges(app) {
+			if rg.Start < mem.KernelTextGVA || rg.End > mem.KernelTextGVA+s.textSize {
+				return fmt.Errorf("evolve: %s promoted [%#x,%#x) outside kernel text", app, rg.Start, rg.End)
+			}
+		}
+	}
+	gens := evo.Generations()
+	for _, v := range s.tel.eng.Verdicts() {
+		if !v.Class.Suspect() {
+			continue
+		}
+		for _, g := range gens {
+			if g.App == v.Comm && g.Cycle > v.Cycle && g.NewRanges.Contains(v.Addr) {
+				return fmt.Errorf("evolve: %s gen %d (cycle %d) promoted suspect origin %#x (%s, verdict cycle %d)",
+					v.Comm, g.Gen, g.Cycle, v.Addr, v.Fn, v.Cycle)
+			}
+		}
+	}
 	return nil
 }
 
@@ -537,6 +636,17 @@ func (s *Simulator) finish(v *Violation) (*Result, error) {
 			Consumed:        s.tel.agg.Stats().Total,
 			UnknownVerdicts: st.ByClass[detect.ClassUnknownOrigin],
 			SuspectVerdicts: st.Suspicious(),
+		}
+		if s.tel.evo != nil {
+			est := s.tel.evo.Stats()
+			s.res.Evolve = EvolveSummary{
+				Enabled:        true,
+				Generations:    est.Generations,
+				PromotedRanges: est.PromotedRanges,
+				PromotedBytes:  est.PromotedBytes,
+				Denied:         est.Denied + est.DeniedHits,
+				PublishErrors:  est.PublishErrors,
+			}
 		}
 	}
 	s.res.Violation = v

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// flushCountSink counts deliveries and snapshots the count at first
+// Flush — the Close contract says every event emitted before Close was
+// called must have been delivered by then.
+type flushCountSink struct {
+	seen    atomic.Uint64
+	atFlush atomic.Uint64
+	flushed atomic.Bool
+}
+
+func (s *flushCountSink) HandleEvent(Event) { s.seen.Add(1) }
+
+func (s *flushCountSink) Flush() error {
+	if s.flushed.CompareAndSwap(false, true) {
+		s.atFlush.Store(s.seen.Load())
+	}
+	return nil
+}
+
+// TestHubCloseWhileDraining is the shutdown-race regression test: Close
+// fires while synchronous Drain callers are mid-round (and from two
+// goroutines at once), with emitters racing the early part of the run.
+// The pinned guarantees: no event delivered twice or lost (drainMu
+// serializes rounds and Close's final drain runs to empty), every event
+// emitted before Close is at the sinks before they flush, and Drain after
+// Close stays safe.
+func TestHubCloseWhileDraining(t *testing.T) {
+	const (
+		emitters = 4
+		perEmit  = 5000
+		drainers = 3
+	)
+	sink := &flushCountSink{}
+	h := NewHub(HubConfig{CPUs: emitters, RingSize: emitters * perEmit, Sinks: []Sink{sink}})
+
+	var wgEmit sync.WaitGroup
+	for c := 0; c < emitters; c++ {
+		wgEmit.Add(1)
+		go func(cpu int) {
+			defer wgEmit.Done()
+			for i := 0; i < perEmit; i++ {
+				h.Emit(Event{Kind: KindRecovery, CPU: cpu, Cycle: uint64(i)})
+			}
+		}(c)
+	}
+
+	stopDrain := make(chan struct{})
+	var wgDrain sync.WaitGroup
+	for d := 0; d < drainers; d++ {
+		wgDrain.Add(1)
+		go func() {
+			defer wgDrain.Done()
+			for {
+				select {
+				case <-stopDrain:
+					return
+				default:
+					h.Drain()
+				}
+			}
+		}()
+	}
+
+	// All events are in the rings (or already drained) before Close
+	// begins, so the at-flush snapshot must cover every one of them —
+	// this is the window where a broken Close would flush buffered sinks
+	// while concurrent drainers still hold undelivered events.
+	wgEmit.Wait()
+	var wgClose sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wgClose.Add(1)
+		go func() {
+			defer wgClose.Done()
+			if err := h.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+	}
+	wgClose.Wait()
+	close(stopDrain)
+	wgDrain.Wait()
+	h.Drain() // post-close Drain must be a safe no-op
+
+	total := uint64(emitters * perEmit)
+	if d := h.Drops(); d != 0 {
+		t.Fatalf("%d drops with rings sized for the full run", d)
+	}
+	if got := h.Emitted(); got != total {
+		t.Fatalf("emitted %d, want %d", got, total)
+	}
+	if got := sink.seen.Load(); got != total {
+		t.Fatalf("sinks saw %d events, emitted %d (lost or duplicated under close/drain race)", got, total)
+	}
+	if got := sink.atFlush.Load(); got != total {
+		t.Fatalf("flush ran with %d/%d events delivered — Close flushed before its final drain", got, total)
+	}
+	if p := h.Pending(); p != 0 {
+		t.Fatalf("%d events still buffered after Close", p)
+	}
+}
+
+// TestHubCloseBackgroundConsumer: the same shutdown contract with the
+// background consumer running instead of explicit Drain callers.
+func TestHubCloseBackgroundConsumer(t *testing.T) {
+	sink := &flushCountSink{}
+	h := NewHub(HubConfig{CPUs: 2, RingSize: 1 << 14, Sinks: []Sink{sink}})
+	h.Start()
+	const total = 8000
+	for i := 0; i < total; i++ {
+		h.Emit(Event{Kind: KindSwitch, CPU: i & 1, Cycle: uint64(i)})
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.atFlush.Load(); got != total {
+		t.Fatalf("flush saw %d/%d events", got, total)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if got := sink.seen.Load(); got != total {
+		t.Fatalf("idempotent Close redelivered: %d events", got)
+	}
+}
