@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"facechange/internal/load"
 )
@@ -41,6 +43,7 @@ func main() {
 		shape    = flag.String("shape", "steady", "open-loop rate shape: steady, burst or diurnal")
 		legacy   = flag.Bool("legacy", false, "use the paper's per-entry EPT rewrite switch path instead of snapshot root swaps")
 		profile  = flag.Bool("profile", false, "profile real catalog views instead of synthetic deterministic views")
+		shcore   = flag.Bool("sharedcore", false, "merge co-scheduled apps' views per vCPU into union views (changes the report digest)")
 		fleetM   = flag.Bool("fleet", false, "drive fleet nodes synced from a control-plane server instead of local runtimes")
 		nodes    = flag.Int("nodes", 3, "fleet size under -fleet")
 		slo      = flag.String("slo", "", "comma-separated latency bounds, e.g. p99=40000,recovery.p999=200000")
@@ -48,6 +51,8 @@ func main() {
 		diffTol  = flag.Float64("difftol", 0.10, "fractional slowdown tolerated by -diff (0.10 = +10%)")
 		out      = flag.String("out", "", "write the JSON report to this file")
 		noalloc  = flag.Bool("noalloc", false, "skip the hot-path allocation probes")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the replay to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile (after the replay) to this file")
 		verbose  = flag.Bool("v", false, "log progress")
 	)
 	flag.Parse()
@@ -68,10 +73,11 @@ func main() {
 	}
 
 	cfg := load.RunConfig{
-		Trace:    tr,
-		Runtimes: *runtimes,
-		Legacy:   *legacy,
-		Profile:  *profile,
+		Trace:      tr,
+		Runtimes:   *runtimes,
+		Legacy:     *legacy,
+		SharedCore: *shcore,
+		Profile:    *profile,
 	}
 	if *fleetM {
 		cfg.Nodes = *nodes
@@ -81,10 +87,41 @@ func main() {
 		log.Printf("fcload: trace %s (%d events)", tr.DigestString(), len(tr.Events))
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer f.Close()
+	}
+
 	rep, err := load.Run(cfg)
+	if *cpuProf != "" {
+		// Stop before the alloc probes and diffing: the profile covers the
+		// replay itself.
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		f.Close()
 	}
 
 	if !*noalloc {

@@ -36,6 +36,7 @@ func main() {
 		mix     = flag.String("mix", "default", "event mix: default, or churn (module/view hotplug heavy)")
 		notel   = flag.Bool("notelemetry", false, "detach the telemetry pipeline (skips stream-completeness checks)")
 		evolveF = flag.Bool("evolve", false, "run the online view-evolution loop: benign recoveries promote into hot-plugged view generations (changes the digest)")
+		shcore  = flag.Bool("sharedcore", false, "merge co-scheduled apps' views per vCPU into union views (changes the digest)")
 		verbose = flag.Bool("v", false, "log progress")
 	)
 	flag.Parse()
@@ -60,6 +61,7 @@ func main() {
 		Mix:          *mix,
 		NoTelemetry:  *notel,
 		Evolve:       *evolveF,
+		SharedCore:   *shcore,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -80,6 +82,9 @@ func main() {
 		}
 		if *evolveF {
 			extra += " -evolve"
+		}
+		if *shcore {
+			extra += " -sharedcore"
 		}
 		fmt.Fprintf(os.Stderr, "replay: go run ./cmd/fcsim -seed %d -steps %d -faults %s -rate %g -cpus %d%s\n",
 			*seed, *steps, kinds, *rate, *cpus, extra)

@@ -7,6 +7,7 @@ import (
 	"facechange/internal/kernel"
 	"facechange/internal/kview"
 	"facechange/internal/mem"
+	"facechange/internal/telemetry"
 )
 
 // allocRig fabricates scheduler state exactly as a guest context switch
@@ -154,6 +155,66 @@ func TestEmitterAttachedStillSwitches(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Errorf("detached emitter still allocates %.1f objects/switch", avg)
+	}
+}
+
+// TestEnabledTelemetrySwitchZeroAllocs pins the switch path with a live
+// telemetry hub attached: trap entry, VMI read, view lookup, root swap
+// AND the Emit into the per-vCPU ring must stay allocation-free — the
+// instrumented machine pays no GC tax over the silent one.
+func TestEnabledTelemetrySwitchZeroAllocs(t *testing.T) {
+	rig := newAllocRig(t, FastOptions())
+	hub := telemetry.NewHub(telemetry.HubConfig{CPUs: 1, RingSize: 4096})
+	rig.rt.SetEmitter(hub)
+	var err error
+	for i := 0; i < 4 && err == nil; i++ {
+		err = rig.pick(i % 2)
+	}
+	if err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	n := 0
+	avg := testing.AllocsPerRun(100, func() {
+		if e := rig.pick(n % 2); e != nil {
+			err = e
+		}
+		n++
+	})
+	if err != nil {
+		t.Fatalf("switch: %v", err)
+	}
+	if avg != 0 {
+		t.Errorf("enabled-telemetry switch allocates %.1f objects/switch, want 0", avg)
+	}
+	if hub.Emitted() == 0 {
+		t.Fatal("hub saw no events — the pin measured a dead path")
+	}
+}
+
+// TestEnabledTelemetryElidedZeroAllocs pins the elided-switch event path
+// (same-view trap with a hub attached) at zero allocations.
+func TestEnabledTelemetryElidedZeroAllocs(t *testing.T) {
+	rig := newAllocRig(t, FastOptions())
+	hub := telemetry.NewHub(telemetry.HubConfig{CPUs: 1, RingSize: 4096})
+	rig.rt.SetEmitter(hub)
+	var err error
+	if err = rig.pick(0); err != nil {
+		t.Fatal(err)
+	}
+	before := rig.rt.ElidedSwitches
+	avg := testing.AllocsPerRun(100, func() {
+		if e := rig.pick(0); e != nil {
+			err = e
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg != 0 {
+		t.Errorf("enabled-telemetry elided switch allocates %.1f objects/trap, want 0", avg)
+	}
+	if rig.rt.ElidedSwitches == before {
+		t.Fatal("no elisions counted — the pin measured a dead path")
 	}
 }
 

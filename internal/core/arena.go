@@ -1,0 +1,33 @@
+package core
+
+// recArena is one vCPU's recovery scratch: buffers the UD2 trap path
+// reuses across traps so a steady-state recovery allocates only what it
+// must retain (the logged event's backtrace copy). All access happens
+// under the runtime's mutex on behalf of one vCPU, so the arena needs no
+// locking of its own. Buffers grow amortized and never shrink — a
+// recovery storm reaches a fixed point after the first few traps.
+type recArena struct {
+	// frames/instant back the backtrace walk. The returned frames slice
+	// aliases the arena; OnInvalidOpcode copies it exactly-sized before
+	// anything retains it.
+	frames  []Frame
+	instant []uint32
+	// copyBuf/snapBuf back copyPhys (pristine bytes in, shadow snapshot
+	// for the failure-path restore).
+	copyBuf []byte
+	snapBuf []byte
+	// regionBuf backs funcSpan's prologue scan. Sized to the enclosing
+	// region (the whole kernel text in the worst case), it was the
+	// dominant per-recovery allocation before pooling.
+	regionBuf []byte
+}
+
+// arenaBytes returns a length-n byte buffer backed by *buf, growing the
+// backing array only when capacity is exceeded.
+func arenaBytes(buf *[]byte, n int) []byte {
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}

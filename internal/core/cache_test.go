@@ -77,7 +77,7 @@ func TestRecoveryCopyOnWriteIsolatesViews(t *testing.T) {
 	}
 
 	// Recover sys_read into view 1 only (what OnInvalidOpcode does).
-	if err := rt.copyPhys(v1, f.Addr, f.Size); err != nil {
+	if err := rt.copyPhys(rt.arenas[0], v1, f.Addr, f.Size); err != nil {
 		t.Fatal(err)
 	}
 
@@ -131,7 +131,7 @@ func TestRecoveryRemapsLiveVCPU(t *testing.T) {
 			rt.switchTo(cpu, 1) // v1
 
 			f, _ := k.Syms.ByName("sys_read")
-			if err := rt.copyPhys(v1, f.Addr, f.Size); err != nil {
+			if err := rt.copyPhys(rt.arenas[0], v1, f.Addr, f.Size); err != nil {
 				t.Fatal(err)
 			}
 			var got [2]byte

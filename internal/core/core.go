@@ -55,6 +55,18 @@ type Options struct {
 	// rewrites entries, and the EPT-granularity ablation measures exactly
 	// that, so the legacy path stays the reference configuration.
 	SnapshotSwitch bool
+	// SharedCore merges the views of applications co-scheduled on one vCPU
+	// into a union view (the eval.sharedcore ablation graduated into a
+	// runtime policy): once a vCPU runs under a merged view covering the
+	// incoming task's view, quantum-frequency switching elides entirely.
+	// Merged views are built through the ordinary load path — interned in
+	// the content-addressed cache and refcounted like any view — and are
+	// retired when a member unloads. Detection attribution is unaffected:
+	// recovery/trap events carry the faulting task's comm, not the
+	// installed view's member set. The trade is precision for switch rate —
+	// a merged view exposes the union of its members' kernel code to each
+	// of them. Off by default.
+	SharedCore bool
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -130,6 +142,18 @@ type Runtime struct {
 	views  []*LoadedView // index 0 is the full view (nil)
 	byName map[string]int
 
+	// mergedIdx maps a shared-core member-set key (sorted base view
+	// indices) to the merged union view's index; mergedOf is the reverse:
+	// merged view index → sorted member base indices. Both are empty
+	// unless Options.SharedCore built merged views.
+	mergedIdx map[string]int
+	mergedOf  map[int][]int
+	// scSingle avoids a per-trap slice allocation when the active view is
+	// a base (non-merged) view acting as its own singleton member set.
+	scSingle [1]int
+	// scKey is the member-set key scratch, reused across traps (mu held).
+	scKey []byte
+
 	// cache interns shadow pages by content so identical pages (UD2
 	// filler, shared loaded code) are stored once across views.
 	cache *mem.PageCache
@@ -150,6 +174,16 @@ type Runtime struct {
 	// symCacheMax (cleared wholesale when full or when modGen advances),
 	// so trap storms do not re-resolve the same frames per backtrace.
 	symCache map[uint32]string
+
+	// arenas holds one recovery-scratch arena per vCPU (backtrace frames,
+	// instant-recovery addresses, copy and prologue-scan buffers), so a
+	// steady-state UD2 trap reuses grown buffers instead of allocating.
+	arenas []*recArena
+	// commIntern memoizes comm-bytes → string conversions: trap storms
+	// revolve around few task names, and interning makes the conversion on
+	// the recovery path allocation-free after first sight. Bounded like
+	// symCache (cleared wholesale at the cap).
+	commIntern map[string]string
 
 	cpus           []*cpuViewState
 	resumeTrapRefs int
@@ -174,6 +208,15 @@ type Runtime struct {
 	InstantRecoveries   uint64
 	InterruptRecoveries uint64
 	ViewSwitches        uint64
+	// ElidedSwitches counts switch decisions skipped because the target
+	// view was already installed (same-view elision, including shared-core
+	// coverage). Each increment pairs with one KindElidedSwitch event when
+	// an emitter is attached.
+	ElidedSwitches uint64
+	// MergedViewLoads counts shared-core union views built (cumulative; a
+	// merged view retired on member unload is rebuilt on demand and counts
+	// again). Zero unless Options.SharedCore.
+	MergedViewLoads uint64
 }
 
 // New attaches a FACE-CHANGE runtime to the machine. The runtime starts
@@ -183,15 +226,18 @@ func New(s Setup) (*Runtime, error) {
 		return nil, fmt.Errorf("core: incomplete setup")
 	}
 	r := &Runtime{
-		m:        s.Machine,
-		syms:     s.Symbols,
-		opts:     s.Opts,
-		textSize: s.TextSize,
-		kernelAS: mem.NewAddressSpace(),
-		views:    []*LoadedView{nil},
-		byName:   make(map[string]int),
-		symCache: make(map[uint32]string),
-		cache:    mem.NewPageCache(s.Machine.Host),
+		m:          s.Machine,
+		syms:       s.Symbols,
+		opts:       s.Opts,
+		textSize:   s.TextSize,
+		kernelAS:   mem.NewAddressSpace(),
+		views:      []*LoadedView{nil},
+		byName:     make(map[string]int),
+		symCache:   make(map[uint32]string),
+		commIntern: make(map[string]string),
+		mergedIdx:  make(map[string]int),
+		mergedOf:   make(map[int][]int),
+		cache:      mem.NewPageCache(s.Machine.Host),
 	}
 	r.ctxSwitchAddr = s.Symbols.MustAddr("context_switch")
 	r.resumeAddr = s.Symbols.MustAddr("resume_userspace")
@@ -202,6 +248,7 @@ func New(s Setup) (*Runtime, error) {
 	}
 	for range s.Machine.CPUs {
 		r.cpus = append(r.cpus, &cpuViewState{active: FullView, last: FullView})
+		r.arenas = append(r.arenas, &recArena{})
 	}
 	start := mem.KernelTextGPA &^ (mem.PDSpan - 1)
 	for base := start; base < mem.KernelTextGPA+r.textSize; base += mem.PDSpan {
@@ -371,6 +418,25 @@ func (r *Runtime) readRQCurrBytes(cpu *hv.CPU) (pid int, comm []byte, err error)
 		n++
 	}
 	return int(p), buf[:n], nil
+}
+
+// commInternMax bounds the comm intern table (same wholesale-clear policy
+// as the symbol cache: the working set of task names is tiny).
+const commInternMax = 1024
+
+// internComm converts comm bytes to a string without allocating in steady
+// state: the map-lookup-with-converted-key form compiles to a
+// no-allocation lookup, so only a comm's first sighting pays the copy.
+func (r *Runtime) internComm(b []byte) string {
+	if s, ok := r.commIntern[string(b)]; ok {
+		return s
+	}
+	if len(r.commIntern) >= commInternMax {
+		clear(r.commIntern)
+	}
+	s := string(b)
+	r.commIntern[s] = s
+	return s
 }
 
 // vmiModule is a module-list entry read from guest memory.

@@ -210,7 +210,7 @@ func TestWholeFunctionLoadMatchesSymbolBoundaries(t *testing.T) {
 			t.Fatalf("missing %s", name)
 		}
 		mid := f.Addr + f.Size/2
-		start, end, err := rt.funcSpan(mid, mid+1, mem.KernelTextGVA, mem.KernelTextGVA+rt.textSize)
+		start, end, err := rt.funcSpan(rt.arenas[0], mid, mid+1, mem.KernelTextGVA, mem.KernelTextGVA+rt.textSize)
 		if err != nil {
 			t.Fatalf("funcSpan(%s): %v", name, err)
 		}

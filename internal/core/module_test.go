@@ -195,7 +195,7 @@ func TestFuncSpanSweep(t *testing.T) {
 		if f.Module != "" {
 			continue
 		}
-		start, end, err := rt.funcSpan(f.Addr, f.Addr+1, mem.KernelTextGVA, mem.KernelTextGVA+rt.textSize)
+		start, end, err := rt.funcSpan(rt.arenas[0], f.Addr, f.Addr+1, mem.KernelTextGVA, mem.KernelTextGVA+rt.textSize)
 		if err != nil {
 			t.Fatalf("%s: %v", f.Name, err)
 		}

@@ -58,8 +58,15 @@ func (r *Runtime) OnInvalidOpcode(m *hv.Machine, cpu *hv.CPU) (bool, error) {
 	// BACK_TRACE(rip, rbp), with instant recovery of any caller whose
 	// return site misparses.
 	frames, instantAddrs := r.backtrace(cpu)
+	if len(frames) > 0 {
+		// The walk returned arena scratch; the recovery events built below
+		// retain their backtrace (in the log and in sink tails), so take
+		// one exact-size copy per trap — every recovery from this trap
+		// shares it.
+		frames = append(make([]Frame, 0, len(frames)), frames...)
+	}
 	pid, commB, err := r.readRQCurrBytes(cpu)
-	comm := string(commB)
+	comm := r.internComm(commB)
 	if err != nil {
 		pid, comm = -1, "?"
 	}
@@ -98,9 +105,12 @@ func (r *Runtime) OnInvalidOpcode(m *hv.Machine, cpu *hv.CPU) (bool, error) {
 // returning the symbolized frames (innermost return site first) and the
 // return addresses whose first bytes read "0B 0F" — candidates for instant
 // recovery.
+// Both returned slices alias the vCPU's arena and are valid only until
+// the next trap on that vCPU (callers hold mu); retainers must copy.
 func (r *Runtime) backtrace(cpu *hv.CPU) ([]Frame, []uint32) {
-	var frames []Frame
-	var instant []uint32
+	a := r.arenas[cpu.ID]
+	frames := a.frames[:0]
+	instant := a.instant[:0]
 	// Stack reads can fail or return corrupt bytes under injection; the
 	// walk already treats every read defensively (break on error, validate
 	// each value), so a corrupted frame terminates or truncates the trace
@@ -133,6 +143,7 @@ func (r *Runtime) backtrace(cpu *hv.CPU) ([]Frame, []uint32) {
 		}
 		ebp = prevEBP
 	}
+	a.frames, a.instant = frames, instant // keep grown capacity
 	return frames, instant
 }
 
@@ -158,9 +169,10 @@ func (r *Runtime) recoverAt(cpu *hv.CPU, v *LoadedView, addr uint32, pid int, co
 	if err != nil {
 		return Event{}, err
 	}
+	a := r.arenas[cpu.ID]
 	var start, end uint32
 	if r.opts.WholeFunctionLoad {
-		start, end, err = r.funcSpan(addr, addr+1, regionStart, regionEnd)
+		start, end, err = r.funcSpan(a, addr, addr+1, regionStart, regionEnd)
 		if err != nil {
 			return Event{}, err
 		}
@@ -172,7 +184,7 @@ func (r *Runtime) recoverAt(cpu *hv.CPU, v *LoadedView, addr uint32, pid int, co
 			end = regionEnd
 		}
 	}
-	if err := r.copyPhys(v, start, end-start); err != nil {
+	if err := r.copyPhys(a, v, start, end-start); err != nil {
 		return Event{}, fmt.Errorf("core: recover %#x: %w", addr, err)
 	}
 	if space == "" {

@@ -22,6 +22,13 @@ func (r *Runtime) OnAddrTrap(m *hv.Machine, cpu *hv.CPU) error {
 			return err
 		}
 		idx := r.viewIndexBytes(comm)
+		if r.opts.SharedCore && idx != FullView {
+			// Shared-core policy: resolve the task's view against this
+			// vCPU's co-scheduled member set (possibly loading a merged
+			// union view); a covered task resolves to the active view and
+			// elides below.
+			idx = r.sharedCoreTarget(idx, st)
+		}
 		if r.opts.SameViewElision && idx == st.active {
 			// Previous and next process use the same kernel view: avoid
 			// one additional switch (Section III-B2).
@@ -29,6 +36,7 @@ func (r *Runtime) OnAddrTrap(m *hv.Machine, cpu *hv.CPU) error {
 				st.resumeArmed = false
 				r.disarmResume()
 			}
+			r.noteElided(cpu, idx)
 			return nil
 		}
 		if idx == FullView || !r.opts.SwitchAtResume {
@@ -72,6 +80,7 @@ func (r *Runtime) switchTo(cpu *hv.CPU, idx int) error {
 		// Redundant switch elided. Without the optimization the EPT
 		// entries are rewritten (and paid for) even when nothing changes,
 		// which is what the ablation benchmark measures.
+		r.noteElided(cpu, idx)
 		return nil
 	}
 	if idx != FullView && r.inj != nil {
@@ -168,6 +177,14 @@ func (r *Runtime) applySwitch(cpu *hv.CPU, idx int) {
 	st.active = idx
 	r.ViewSwitches++
 	r.emitSwitch(cpu, idx, telemetry.KindSwitch)
+}
+
+// noteElided accounts a skipped redundant switch — the target view was
+// already installed — and streams a cheap KindElidedSwitch event when an
+// emitter is attached (no root swap, no EPT write, no charge).
+func (r *Runtime) noteElided(cpu *hv.CPU, idx int) {
+	r.ElidedSwitches++
+	r.emitSwitch(cpu, idx, telemetry.KindElidedSwitch)
 }
 
 // emitSwitch streams a committed switch: KindEPTPSwap for the snapshot

@@ -204,6 +204,13 @@ func (s *viewStage) write(name string, gva uint32, data []byte) error {
 func (r *Runtime) LoadView(cfg *kview.View) (int, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.loadView(cfg)
+}
+
+// loadView is the mu-held implementation, shared by LoadView and the
+// shared-core trap path (which builds merged views while already holding
+// the runtime's mutex).
+func (r *Runtime) loadView(cfg *kview.View) (int, error) {
 	v := &LoadedView{
 		Name:      cfg.App,
 		Cfg:       cfg,
@@ -352,7 +359,9 @@ func gpaFor(gva uint32) uint32 {
 func (r *Runtime) stageRange(s *viewStage, v *LoadedView, start, end, regionStart, regionEnd uint32) error {
 	if r.opts.WholeFunctionLoad {
 		var err error
-		start, end, err = r.funcSpan(start, end, regionStart, regionEnd)
+		// Load-time staging is not a hot path; vCPU 0's arena (callers
+		// hold mu) just keeps one grow-once buffer policy everywhere.
+		start, end, err = r.funcSpan(r.arenas[0], start, end, regionStart, regionEnd)
 		if err != nil {
 			return err
 		}
@@ -380,13 +389,15 @@ func (r *Runtime) stageCopy(s *viewStage, v *LoadedView, gva uint32, n uint32) e
 // (already materialized) shadow pages — the runtime recovery path. A
 // failure partway through (a COW allocation can fail under cache pressure)
 // restores the span's previous shadow bytes, so the view never holds code
-// the recovery bookkeeping does not record.
-func (r *Runtime) copyPhys(v *LoadedView, gva uint32, n uint32) error {
-	buf := make([]byte, n)
+// the recovery bookkeeping does not record. Both working buffers come
+// from the caller's arena, so a steady-state recovery allocates nothing
+// here.
+func (r *Runtime) copyPhys(a *recArena, v *LoadedView, gva uint32, n uint32) error {
+	buf := arenaBytes(&a.copyBuf, int(n))
 	if err := r.physRead(gpaFor(gva), buf); err != nil {
 		return fmt.Errorf("core: read pristine code at %#x: %w", gva, err)
 	}
-	snap := make([]byte, n)
+	snap := arenaBytes(&a.snapBuf, int(n))
 	if err := r.readShadow(v, gva, snap); err != nil {
 		return fmt.Errorf("core: snapshot shadow at %#x: %w", gva, err)
 	}
@@ -534,11 +545,14 @@ func (v *LoadedView) covers(gva uint32) bool {
 // pristine guest bytes for the prologue signature "55 89 E5" at
 // power-of-two-aligned offsets (the paper's footnote-2 reliance on
 // -falign-functions), within [regionStart, regionEnd).
-func (r *Runtime) funcSpan(start, end, regionStart, regionEnd uint32) (uint32, uint32, error) {
+// The scan buffer comes from the caller's arena (region-sized — the whole
+// kernel text in the worst case — and the dominant per-recovery
+// allocation before pooling).
+func (r *Runtime) funcSpan(a *recArena, start, end, regionStart, regionEnd uint32) (uint32, uint32, error) {
 	if start < regionStart || end > regionEnd || start >= end {
 		return 0, 0, fmt.Errorf("core: range [%#x,%#x) outside region [%#x,%#x)", start, end, regionStart, regionEnd)
 	}
-	region := make([]byte, regionEnd-regionStart)
+	region := arenaBytes(&a.regionBuf, int(regionEnd-regionStart))
 	if err := r.scanRead(gpaFor(regionStart), region); err != nil {
 		return 0, 0, fmt.Errorf("core: read region: %w", err)
 	}
@@ -640,6 +654,14 @@ func (r *Runtime) AmelioratedView(idx int) (*kview.View, error) {
 func (r *Runtime) UnloadView(idx int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.unloadView(idx)
+}
+
+// unloadView is the mu-held implementation. Unloading a view that is a
+// member of shared-core merged views retires those merged views too
+// (their union would otherwise keep exposing the departed application's
+// kernel code).
+func (r *Runtime) unloadView(idx int) error {
 	v := r.viewByIndex(idx)
 	if v == nil {
 		return fmt.Errorf("core: no view %d", idx)
@@ -673,6 +695,7 @@ func (r *Runtime) UnloadView(idx int) error {
 	if r.emit != nil {
 		r.emit.Emit(telemetry.Event{Kind: telemetry.KindViewUnload, Cycle: r.m.Cycles(), View: v.Name, N: uint64(idx)})
 	}
+	r.retireMergedFor(idx)
 	return nil
 }
 

@@ -1,0 +1,257 @@
+// Hot-path host measurements: wall-clock and allocation figures for the
+// telemetry capture/drain pipeline and the recovery storm, recorded in
+// BENCH_baseline.json next to the charged-cycle numbers. Unlike the
+// charged figures these vary with the host; they are tracked for trend,
+// not for determinism (the allocation pins, which must be exactly zero,
+// are the exception).
+package eval
+
+import (
+	"fmt"
+	"testing"
+
+	"facechange/internal/mem"
+	"facechange/internal/telemetry"
+)
+
+// HotPathBaseline is the host-measured cost of the event pipeline and
+// recovery hot paths.
+type HotPathBaseline struct {
+	// TelemetryDisabledNsPerEvent is the nil-emitter guard: the cost an
+	// uninstrumented machine pays per would-be event.
+	TelemetryDisabledNsPerEvent float64 `json:"telemetry_disabled_ns_per_event"`
+	// TelemetryEnabledNsPerEvent is one Hub.Emit into a per-vCPU ring.
+	TelemetryEnabledNsPerEvent float64 `json:"telemetry_enabled_ns_per_event"`
+	// DrainPopNsPerEvent / DrainBatchNsPerEvent are the consumer-side
+	// per-event delivery costs of the legacy peek-min loop and the batched
+	// drain; DrainSpeedup is their ratio.
+	DrainPopNsPerEvent   float64 `json:"drain_pop_ns_per_event"`
+	DrainBatchNsPerEvent float64 `json:"drain_batch_ns_per_event"`
+	DrainSpeedup         float64 `json:"drain_speedup"`
+	// EnabledSwitchAllocsPerOp pins the full context-switch trap with a
+	// live hub attached; must be exactly 0.
+	EnabledSwitchAllocsPerOp float64 `json:"enabled_switch_allocs_per_op"`
+	// RecoveryStormNsPerTrap / RecoveryStormAllocsPerTrap are the wall
+	// cost of a UD2 recovery trap (backtrace + fetch-fill) under storm
+	// load with pooled per-vCPU arenas.
+	RecoveryStormNsPerTrap     float64 `json:"recovery_storm_ns_per_trap"`
+	RecoveryStormAllocsPerTrap float64 `json:"recovery_storm_allocs_per_trap"`
+}
+
+// hotPathDrainRound is events per measured drain round (matches the
+// telemetry package's BenchmarkEventPipeline drain sub-benchmarks).
+const hotPathDrainRound = 4096
+
+// measureDrain times one drain implementation over pre-filled rings and
+// returns ns per delivered event.
+func measureDrain(rings int, fill func(h *telemetry.Hub, ev telemetry.Event), drain func(h *telemetry.Hub)) float64 {
+	agg := telemetry.NewAggregator(64)
+	h := telemetry.NewHub(telemetry.HubConfig{CPUs: rings, RingSize: hotPathDrainRound, Sinks: []telemetry.Sink{agg}})
+	ev := telemetry.Event{Kind: telemetry.KindSwitch, View: "appA"}
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fill(h, ev)
+			b.StartTimer()
+			drain(h)
+		}
+	})
+	return float64(res.T.Nanoseconds()) / float64(int64(res.N)*hotPathDrainRound)
+}
+
+func hubFill(h *telemetry.Hub, ev telemetry.Event) {
+	for j := 0; j < hotPathDrainRound; j++ {
+		e := ev
+		e.CPU = j & 3
+		h.Emit(e)
+	}
+}
+
+// drainPopReference replays the pre-batching consumer — peek every ring,
+// pop the minimum sequence, deliver one event at a time — over standalone
+// rings, as the baseline the batched Hub.Drain is measured against.
+func measureDrainPopReference() float64 {
+	const rings = 4
+	agg := telemetry.NewAggregator(64)
+	rs := make([]*telemetry.Ring, rings)
+	for i := range rs {
+		rs[i] = telemetry.NewRing(hotPathDrainRound)
+	}
+	ev := telemetry.Event{Kind: telemetry.KindSwitch, View: "appA"}
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			seq := uint64(0)
+			for j := 0; j < hotPathDrainRound; j++ {
+				e := ev
+				e.CPU = j & 3
+				seq++
+				e.Seq = seq
+				rs[e.CPU].Push(e)
+			}
+			b.StartTimer()
+			for {
+				best := -1
+				var bestSeq uint64
+				var bestEv telemetry.Event
+				for ri, r := range rs {
+					if pe, ok := r.Peek(); ok && (best < 0 || pe.Seq < bestSeq) {
+						best, bestSeq, bestEv = ri, pe.Seq, pe
+					}
+				}
+				if best < 0 {
+					break
+				}
+				rs[best].Pop()
+				agg.HandleEvent(bestEv)
+			}
+		}
+	})
+	return float64(res.T.Nanoseconds()) / float64(int64(res.N)*hotPathDrainRound)
+}
+
+// MeasureHotPath runs the host-side pipeline measurements.
+func MeasureHotPath() (*HotPathBaseline, error) {
+	hp := &HotPathBaseline{}
+
+	// Disabled guard: exactly the nil check every runtime hook pays.
+	ev := telemetry.Event{Kind: telemetry.KindSwitch, View: "appA"}
+	res := testing.Benchmark(func(b *testing.B) {
+		var emit telemetry.Emitter
+		n := 0
+		for i := 0; i < b.N; i++ {
+			if emit != nil {
+				emit.Emit(ev)
+				n++
+			}
+		}
+		if n != 0 {
+			b.Fatal("disabled path emitted")
+		}
+	})
+	hp.TelemetryDisabledNsPerEvent = float64(res.T.Nanoseconds()) / float64(res.N)
+
+	// Enabled capture: one Emit into a ring, drained outside the timer.
+	h := telemetry.NewHub(telemetry.HubConfig{CPUs: 1, RingSize: 1 << 16})
+	res = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Emit(ev)
+			if h.Pending() >= 1<<16 {
+				b.StopTimer()
+				h.Drain()
+				b.StartTimer()
+			}
+		}
+	})
+	hp.TelemetryEnabledNsPerEvent = float64(res.T.Nanoseconds()) / float64(res.N)
+
+	hp.DrainPopNsPerEvent = measureDrainPopReference()
+	hp.DrainBatchNsPerEvent = measureDrain(4, hubFill, func(h *telemetry.Hub) { h.Drain() })
+	if hp.DrainBatchNsPerEvent > 0 {
+		hp.DrainSpeedup = hp.DrainPopNsPerEvent / hp.DrainBatchNsPerEvent
+	}
+
+	// Enabled-path switch allocations: the full context-switch trap with a
+	// live hub attached, via the baseline rig.
+	rig, err := newBaselineRig(1, baselineOpts("snapshot"))
+	if err != nil {
+		return nil, err
+	}
+	hub := telemetry.NewHub(telemetry.HubConfig{CPUs: 1, RingSize: 1 << 16})
+	rig.rt.SetEmitter(hub)
+	comms := [2]string{"appA", "appB"}
+	for i := 0; i < 4; i++ {
+		if err := rig.ctxSwitch(0, comms[i%2]); err != nil {
+			return nil, err
+		}
+	}
+	n := 0
+	hp.EnabledSwitchAllocsPerOp = testing.AllocsPerRun(200, func() {
+		if e := rig.ctxSwitch(0, comms[n%2]); e != nil {
+			err = e
+		}
+		n++
+		if hub.Pending() >= 1<<15 {
+			hub.Drain()
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eval: enabled switch probe: %w", err)
+	}
+
+	// Recovery storm: repeated UD2 traps over excluded functions with the
+	// per-vCPU arenas warm.
+	srig, err := newBaselineRig(1, baselineOpts("snapshot"))
+	if err != nil {
+		return nil, err
+	}
+	if err := srig.ctxSwitch(0, "appA"); err != nil {
+		return nil, err
+	}
+	targets := stormTargets(srig, 64)
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("eval: no recovery storm targets")
+	}
+	cpu := srig.k.M.CPUs[0]
+	trap := func(i int) error {
+		f := targets[i%len(targets)]
+		cpu.EIP, cpu.EBP = f, 0
+		handled, err := srig.rt.OnInvalidOpcode(srig.k.M, cpu)
+		if err != nil {
+			return err
+		}
+		if !handled {
+			return fmt.Errorf("eval: storm trap not handled")
+		}
+		return nil
+	}
+	for i := 0; i < len(targets); i++ { // warm: every span recovered once
+		if err := trap(i); err != nil {
+			return nil, err
+		}
+	}
+	srig.rt.ResetLog()
+	res = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if e := trap(i); e != nil {
+				b.Fatal(e)
+			}
+			if (i+1)%4096 == 0 {
+				b.StopTimer()
+				srig.rt.ResetLog() // bound the retained log, outside the timer
+				b.StartTimer()
+			}
+		}
+	})
+	hp.RecoveryStormNsPerTrap = float64(res.NsPerOp())
+	m := 0
+	hp.RecoveryStormAllocsPerTrap = testing.AllocsPerRun(200, func() {
+		if e := trap(m); e != nil {
+			err = e
+		}
+		m++
+	})
+	if err != nil {
+		return nil, fmt.Errorf("eval: recovery storm probe: %w", err)
+	}
+	return hp, nil
+}
+
+// stormTargets returns up to n excluded base-kernel function entry
+// addresses usable as UD2 storm targets under the rig's appA view.
+func stormTargets(rig *baselineRig, n int) []uint32 {
+	var out []uint32
+	for _, f := range rig.k.Syms.Funcs() {
+		if f.Module != "" || f.Size < 16 || f.Name == "sys_getpid" {
+			continue
+		}
+		if f.Addr < mem.KernelTextGVA || f.End() > mem.KernelTextGVA+rig.k.Img.TextSize() {
+			continue
+		}
+		out = append(out, f.Addr)
+		if len(out) >= n {
+			break
+		}
+	}
+	return out
+}

@@ -23,6 +23,11 @@ type Table2Config struct {
 	VictimCalls int
 	// Budget bounds each run in simulated cycles (default 4e9).
 	Budget uint64
+	// SharedCore enables the shared-core runtime policy
+	// (core.Options.SharedCore) on every scenario VM. Merged views change
+	// what a vCPU exposes, but verdicts attribute per app, so detection
+	// results must be unchanged.
+	SharedCore bool
 }
 
 func (c *Table2Config) defaults() {
@@ -132,9 +137,16 @@ func runScenario(a malware.Attack, view *kview.View, infected bool, cfg Table2Co
 // attached to the runtime before it is enabled, so every switch, trap and
 // recovery of the scenario streams through the pipeline.
 func runScenarioEmit(a malware.Attack, view *kview.View, infected bool, cfg Table2Config, emit telemetry.Emitter) (map[string]bool, []core.Event, error) {
+	var opts *core.Options
+	if cfg.SharedCore {
+		o := core.DefaultOptions()
+		o.SharedCore = true
+		opts = &o
+	}
 	vm, err := facechange.NewVM(facechange.VMConfig{
 		Modules:      a.RequiredModules(),
 		ExtraModules: a.ExtraModules(),
+		Options:      opts,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"facechange"
+	"facechange/internal/malware"
 )
 
 func TestTable2SecurityEvaluation(t *testing.T) {
@@ -54,6 +55,40 @@ func TestTable2SecurityEvaluation(t *testing.T) {
 	} {
 		if !strings.Contains(evidence[attack], fn) {
 			t.Errorf("%s evidence %q lacks %s", attack, evidence[attack], fn)
+		}
+	}
+}
+
+// TestTable2SharedCore re-runs the per-application half of Table II with
+// the shared-core runtime policy enabled on every scenario VM. Merged
+// views widen what a vCPU exposes, but recovery events carry the faulting
+// task's comm, so per-app verdict attribution — and therefore the 16/16
+// detection result — must be unchanged.
+func TestTable2SharedCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 16 attacks x 2 scenarios")
+	}
+	tab, err := RunTable1(facechange.ProfileConfig{Syscalls: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Table2Config{SharedCore: true}
+	cfg.defaults()
+	for _, a := range malware.Catalog() {
+		view, ok := tab.Views[a.Victim]
+		if !ok {
+			t.Fatalf("no profiled view for victim %q", a.Victim)
+		}
+		baseline, _, err := runScenario(a, view, false, cfg)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", a.Name, err)
+		}
+		names, _, err := runScenario(a, view, true, cfg)
+		if err != nil {
+			t.Fatalf("%s attack run: %v", a.Name, err)
+		}
+		if ev := diff(names, baseline); len(ev) == 0 {
+			t.Errorf("shared-core run missed %s (paper: detects all 16)", a.Name)
 		}
 	}
 }

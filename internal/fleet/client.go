@@ -281,7 +281,14 @@ type session struct {
 	frames  chan frame
 	readErr error
 	pending bool // an update notice arrived while a round trip was in flight
+
+	// telScratch is the relay's batch buffer, reused across flushes so the
+	// steady-state peek is allocation-free.
+	telScratch [relayBatch]telemetry.Event
 }
+
+// relayBatch is the telemetry relay's per-flush batch size.
+const relayBatch = 256
 
 func (n *Node) session(raw net.Conn) error {
 	conn := &countingConn{Conn: raw, in: &n.bytesIn, out: &n.bytesOut}
@@ -460,18 +467,18 @@ func (s *session) flushTelemetry() {
 		// Peek/commit rather than take: events leave the buffer only after
 		// the wire write succeeded, so a session dying mid-flush loses
 		// nothing — the next session re-sends the same batch.
-		batch := s.node.buf.PeekBatch(256)
-		if len(batch) == 0 {
+		n := s.node.buf.PeekBatchInto(s.telScratch[:])
+		if n == 0 {
 			return
 		}
-		payload, err := telemetry.EncodeBatch(batch)
+		payload, err := telemetry.EncodeBatch(s.telScratch[:n])
 		if err == nil {
 			err = s.write(msgTelemetry, payload)
 		}
 		if err != nil {
 			return
 		}
-		s.node.buf.Commit(len(batch))
+		s.node.buf.Commit(n)
 	}
 }
 

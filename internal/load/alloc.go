@@ -19,7 +19,7 @@ func measureSwitchAllocs(legacy bool) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	g, err := newRig(1, legacy, specs, nil)
+	g, err := newRig(1, legacy, false, specs, nil)
 	if err != nil {
 		return 0, err
 	}

@@ -65,6 +65,7 @@ func runFleet(cfg *RunConfig) (*Report, error) {
 		o := core.FastOptions()
 		opts = &o
 	}
+	opts.SharedCore = cfg.SharedCore
 
 	type member struct {
 		g    *rig
@@ -101,6 +102,7 @@ func runFleet(cfg *RunConfig) (*Report, error) {
 		}
 		flt.JoinBytes = append(flt.JoinBytes, n.Status().BytesIn)
 		g := newRigOn(vm.Kernel, vm.Runtime)
+		g.shared = cfg.SharedCore
 		// NewNode pointed the runtime's emitter at the relay buffer; tee
 		// it so the local sink still sees every event for the report.
 		vm.Runtime.SetEmitter(teeEmitter{sink: g.res.sink, buf: n.Telemetry()})

@@ -288,3 +288,41 @@ func TestMeasureAllocs(t *testing.T) {
 		t.Errorf("legacy switch path allocates %.1f objects/op, want 0", a.LegacySwitch)
 	}
 }
+
+// TestRunSharedCore: the shared-core policy must build merged views,
+// convert re-switches into elisions, keep the replay deterministic, and
+// be digest-visible against the same trace without it.
+func TestRunSharedCore(t *testing.T) {
+	tr, err := GenTrace(TraceConfig{Seed: 1, Skew: 1.1, Events: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scRun := func() *Report {
+		rep, err := Run(RunConfig{Trace: tr, Runtimes: 2, SharedCore: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := scRun(), scRun()
+	if a.ReportDigest != b.ReportDigest {
+		t.Fatalf("sharedcore not deterministic: %s vs %s", a.ReportDigest, b.ReportDigest)
+	}
+	if a.Counters.MergedViewLoads == 0 {
+		t.Fatal("no merged views built with SharedCore on")
+	}
+	if a.Counters.ElidedSwitches == 0 {
+		t.Fatal("no elided switches with SharedCore on")
+	}
+	base, err := Run(RunConfig{Trace: tr, Runtimes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ReportDigest == a.ReportDigest {
+		t.Fatalf("SharedCore is digest-invisible: %s both ways", a.ReportDigest)
+	}
+	if a.Counters.Switches >= base.Counters.Switches {
+		t.Fatalf("SharedCore did not reduce committed switches: %d vs base %d",
+			a.Counters.Switches, base.Counters.Switches)
+	}
+}

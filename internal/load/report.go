@@ -26,7 +26,11 @@ type ConfigReport struct {
 	Runtimes int     `json:"runtimes"`
 	Legacy   bool    `json:"legacy"`
 	Profile  bool    `json:"profile"`
-	Nodes    int     `json:"nodes,omitempty"`
+	// SharedCore marks a merged-union-view run; folded into the report
+	// digest only when set, so reports from existing modes keep their
+	// digests.
+	SharedCore bool `json:"sharedcore,omitempty"`
+	Nodes      int  `json:"nodes,omitempty"`
 }
 
 // OpLatency is the aggregate charged-cycle latency, overall and split by
@@ -67,6 +71,8 @@ type CounterReport struct {
 	InterruptRecoveries uint64  `json:"interrupt_recoveries"`
 	WarmHits            uint64  `json:"warm_hits"`
 	IdleSwitches        uint64  `json:"idle_switches"`
+	ElidedSwitches      uint64  `json:"elided_switches"`
+	MergedViewLoads     uint64  `json:"merged_view_loads,omitempty"`
 	ElapsedCycles       uint64  `json:"elapsed_cycles"` // slowest runtime
 	EventsPerSecond     float64 `json:"events_per_second"`
 }
@@ -115,7 +121,7 @@ func assemble(cfg *RunConfig, specs []*appSpec, results []*runtimeResult, fleet 
 			Seed: tc.Seed, Apps: tc.Apps, Skew: tc.Skew, Events: tc.Events,
 			CPUs: tc.CPUs, Arrival: tc.Arrival, Rate: tc.Rate, Think: tc.Think,
 			Shape: tc.Shape, Runtimes: cfg.Runtimes, Legacy: cfg.Legacy,
-			Profile: cfg.Profile, Nodes: cfg.Nodes,
+			Profile: cfg.Profile, SharedCore: cfg.SharedCore, Nodes: cfg.Nodes,
 		},
 		TraceDigest: cfg.Trace.DigestString(),
 		Fleet:       fleet,
@@ -138,6 +144,8 @@ func assemble(cfg *RunConfig, specs []*appSpec, results []*runtimeResult, fleet 
 		rep.Counters.InterruptRecoveries += r.interrupt
 		rep.Counters.WarmHits += r.warm
 		rep.Counters.IdleSwitches += r.idle
+		rep.Counters.ElidedSwitches += r.elided
+		rep.Counters.MergedViewLoads += r.merged
 		if r.cycles > rep.Counters.ElapsedCycles {
 			rep.Counters.ElapsedCycles = r.cycles
 		}
@@ -236,6 +244,13 @@ func (r *Report) digest() uint64 {
 	h.u64(r.Memory.DedupedPages)
 	h.u64(r.Memory.BytesSaved)
 	h.u64(r.Memory.BytesSavedTotal)
+	if r.Config.SharedCore {
+		// Folded only when the mode is on: reports from pre-existing modes
+		// keep their digests byte-for-byte.
+		h.byte(1)
+		h.u64(r.Counters.ElidedSwitches)
+		h.u64(r.Counters.MergedViewLoads)
+	}
 	return uint64(h)
 }
 
@@ -257,6 +272,9 @@ func (r *Report) Format() string {
 	}
 	if r.Config.Profile {
 		b.WriteString(" profiled-views")
+	}
+	if r.Config.SharedCore {
+		b.WriteString(" sharedcore")
 	}
 	if r.Fleet != nil {
 		fmt.Fprintf(&b, " fleet=%d", r.Fleet.Nodes)
@@ -280,10 +298,14 @@ func (r *Report) Format() string {
 		fmt.Fprintf(&b, "  %-10s share=%5.1f%% events=%-7d sw.p99=%-8d rec.p99=%-8d warm=%d\n",
 			a.App, a.Share*100, a.Events, a.Switch.P99, a.Recovery.P99, a.WarmHits)
 	}
-	fmt.Fprintf(&b, "counters: %d events, %d switches, %d recoveries (%d instant, %d interrupt), %d warm hits, %d idle, %.0f ev/s simulated\n",
-		r.Counters.Events, r.Counters.Switches, r.Counters.Recoveries,
+	fmt.Fprintf(&b, "counters: %d events, %d switches (%d elided), %d recoveries (%d instant, %d interrupt), %d warm hits, %d idle, %.0f ev/s simulated\n",
+		r.Counters.Events, r.Counters.Switches, r.Counters.ElidedSwitches,
+		r.Counters.Recoveries,
 		r.Counters.InstantRecoveries, r.Counters.InterruptRecoveries,
 		r.Counters.WarmHits, r.Counters.IdleSwitches, r.Counters.EventsPerSecond)
+	if r.Counters.MergedViewLoads > 0 {
+		fmt.Fprintf(&b, "sharedcore: %d merged views built\n", r.Counters.MergedViewLoads)
+	}
 	fmt.Fprintf(&b, "memory: %d distinct pages, %d deduped (%.1f%%), %dB saved now, %dB saved cumulative\n",
 		r.Memory.DistinctPages, r.Memory.DedupedPages, r.Memory.DedupRatio*100,
 		r.Memory.BytesSaved, r.Memory.BytesSavedTotal)

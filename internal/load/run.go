@@ -26,6 +26,10 @@ type RunConfig struct {
 	// Legacy drives the paper's per-entry EPT rewrite switch path instead
 	// of the snapshot root-swap fast path.
 	Legacy bool
+	// SharedCore enables the runtime's shared-core policy: co-scheduled
+	// apps on a vCPU coalesce into merged union views, so quantum-frequency
+	// switching collapses into elisions. Changes the report digest.
+	SharedCore bool
 	// Profile builds real profiled views (facechange.ProfileAll) instead
 	// of the default synthetic deterministic views.
 	Profile bool
@@ -180,6 +184,7 @@ type rig struct {
 	resumeAddr uint32
 	apps       map[uint8]*appState
 	pend       []bool // per-vCPU: a deferred switch is waiting for resume
+	shared     bool   // shared-core: active view may be a merged view
 	closed     bool   // closed-loop pacing
 	think      uint64
 	res        *runtimeResult
@@ -195,6 +200,7 @@ type runtimeResult struct {
 	recoveries         uint64
 	instant, interrupt uint64
 	switches           uint64
+	elided, merged     uint64
 	events             uint64
 	cycles             uint64
 	cache              mem.CacheStats
@@ -218,7 +224,7 @@ func (r *runtimeResult) app(idx int) *appAccum {
 // newRig boots a runtime-phase machine with the given view material
 // loaded and assigned. modules are loaded into the guest first (profiled
 // views may reference module spaces).
-func newRig(cpus int, legacy bool, specs []*appSpec, modules []string) (*rig, error) {
+func newRig(cpus int, legacy, sharedCore bool, specs []*appSpec, modules []string) (*rig, error) {
 	k, err := kernel.New(kernel.Config{Clock: kernel.ClockKVM, NCPU: cpus})
 	if err != nil {
 		return nil, err
@@ -232,11 +238,13 @@ func newRig(cpus int, legacy bool, specs []*appSpec, modules []string) (*rig, er
 	if legacy {
 		opts = core.DefaultOptions()
 	}
+	opts.SharedCore = sharedCore
 	rt, err := core.New(core.Setup{Machine: k.M, Symbols: k.Syms, TextSize: k.Img.TextSize(), Opts: opts})
 	if err != nil {
 		return nil, err
 	}
 	rig := newRigOn(k, rt)
+	rig.shared = sharedCore
 	for _, spec := range specs {
 		idx, err := rt.LoadView(spec.cfg)
 		if err != nil {
@@ -306,23 +314,33 @@ func (g *rig) resume(cpuID int) error {
 	return g.rt.OnAddrTrap(g.k.M, cpu)
 }
 
+// covered reports whether the vCPU's installed view serves the app:
+// its own view, or — under shared-core — a merged view it is a member of.
+func (g *rig) covered(cpuID int, st *appState) bool {
+	if g.shared {
+		return g.rt.ActiveCovers(cpuID, st.viewIdx)
+	}
+	return g.rt.ActiveView(cpuID) == st.viewIdx
+}
+
 // ensureActive lands the app's view on the vCPU (committing a deferred
 // switch if the runtime armed one) so a fabricated UD2 hits the right
-// restricted mapping.
+// restricted mapping. Under shared-core the landed view may be a merged
+// union view covering the app.
 func (g *rig) ensureActive(cpuID int, st *appState) error {
-	if g.rt.ActiveView(cpuID) == st.viewIdx {
+	if g.covered(cpuID, st) {
 		return nil
 	}
 	if err := g.ctxSwitch(cpuID, 100+st.idx, st.name); err != nil {
 		return err
 	}
-	if g.rt.ActiveView(cpuID) != st.viewIdx {
+	if !g.covered(cpuID, st) {
 		if err := g.resume(cpuID); err != nil {
 			return err
 		}
 	}
 	g.pend[cpuID] = false
-	if g.rt.ActiveView(cpuID) != st.viewIdx {
+	if !g.covered(cpuID, st) {
 		return fmt.Errorf("load: view %s not active after switch", st.name)
 	}
 	return nil
@@ -407,7 +425,7 @@ func (g *rig) replay(events []Event) error {
 			if err := g.ctxSwitch(cpuID, 100+st.idx, st.name); err != nil {
 				return err
 			}
-			g.pend[cpuID] = g.rt.ActiveView(cpuID) != st.viewIdx
+			g.pend[cpuID] = !g.covered(cpuID, st)
 			d := m.Cycles() - arrival
 			g.res.sw.Record(d)
 			g.res.all.Record(d)
@@ -473,6 +491,8 @@ func (g *rig) replay(events []Event) error {
 	}
 	g.drainCounters()
 	g.res.switches = g.rt.ViewSwitches
+	g.res.elided = g.rt.ElidedSwitches
+	g.res.merged = g.rt.MergedViewLoads
 	g.res.cache = g.rt.CacheStats()
 	g.res.cycles = m.Cycles()
 	return nil
@@ -558,7 +578,7 @@ func Run(cfg RunConfig) (*Report, error) {
 			}
 		}
 		go func(i int, mine []*appSpec, events []Event) {
-			g, err := newRig(cfg.Trace.Cfg.CPUs, cfg.Legacy, mine, modules)
+			g, err := newRig(cfg.Trace.Cfg.CPUs, cfg.Legacy, cfg.SharedCore, mine, modules)
 			if err != nil {
 				errs <- fmt.Errorf("load: runtime %d: %w", i, err)
 				return

@@ -20,6 +20,9 @@ func (s *Simulator) CheckAll() error {
 	if err := s.checkCacheBalance(); err != nil {
 		return err
 	}
+	if err := s.checkSharedCore(); err != nil {
+		return err
+	}
 	if err := s.checkEPT(true); err != nil {
 		return err
 	}
@@ -71,6 +74,42 @@ func (s *Simulator) checkCacheBalance() error {
 	for hpa := range private {
 		if _, ok := snap[hpa]; ok {
 			return fmt.Errorf("sim: private page %#x is still tracked by the cache", hpa)
+		}
+	}
+	return nil
+}
+
+// checkSharedCore verifies the shared-core merge registry against the
+// loaded-view set: every merged view and every one of its member base
+// views is live (the retirement path in UnloadView must not leave
+// dangling registry entries), member sets are genuine merges (≥2 sorted
+// distinct members), and the merged view's configuration covers each
+// member's configured ranges completely — a union that dropped ranges
+// would UD2-trap code its members legitimately expose. Merged views are
+// ordinary refcounted views, so checkCacheBalance already audits their
+// shadow pages. The registry is empty unless Config.SharedCore is set.
+func (s *Simulator) checkSharedCore() error {
+	for mi, set := range s.rt.MergedViews() {
+		mv := s.rt.ViewByIndex(mi)
+		if mv == nil {
+			return fmt.Errorf("sim: merge registry names view index %d which is not loaded", mi)
+		}
+		if len(set) < 2 {
+			return fmt.Errorf("sim: merged view %q (index %d) has %d members; a merge needs at least 2", mv.Name, mi, len(set))
+		}
+		prev := -1
+		for _, m := range set {
+			if m <= prev {
+				return fmt.Errorf("sim: merged view %q member set %v is not sorted-distinct", mv.Name, set)
+			}
+			prev = m
+			bv := s.rt.ViewByIndex(m)
+			if bv == nil {
+				return fmt.Errorf("sim: merged view %q (index %d) references unloaded member %d", mv.Name, mi, m)
+			}
+			if kview.IntersectViews(mv.Cfg, bv.Cfg).Size() != bv.Cfg.Size() {
+				return fmt.Errorf("sim: merged view %q does not cover member %q: union lost ranges", mv.Name, bv.Name)
+			}
 		}
 	}
 	return nil

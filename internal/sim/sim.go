@@ -74,6 +74,12 @@ type Config struct {
 	// load/hide and view hotplug heavy stream that stresses snapshot and
 	// module-list-cache invalidation.
 	Mix string
+	// SharedCore enables the shared-core runtime policy
+	// (core.Options.SharedCore): co-scheduled apps on one vCPU run under a
+	// merged union view, so quantum-frequency switching collapses into
+	// elisions. Changes the digest (merged views load, actives differ);
+	// checkSharedCore adds merge-registry invariants to every sweep.
+	SharedCore bool
 	// NoTelemetry detaches the telemetry pipeline (on by default: the
 	// runtime streams through a Hub into the aggregator and the detection
 	// engine, and the per-step checks verify stream completeness).
@@ -148,6 +154,9 @@ type Result struct {
 	// Recoveries, InstantRecoveries and ViewSwitches mirror the runtime's
 	// counters at the end of the run.
 	Recoveries, InstantRecoveries, ViewSwitches uint64
+	// ElidedSwitches counts same-view switch decisions skipped; under
+	// SharedCore, MergedViewLoads counts union views built.
+	ElidedSwitches, MergedViewLoads uint64
 	// Loads, Unloads and PoolRuns count successful hotplug operations and
 	// pool-profiling rounds.
 	Loads, Unloads, PoolRuns uint64
@@ -204,8 +213,11 @@ func (r *Result) Summary() string {
 	fmt.Fprintf(&b, "events:     %s\n", strings.Join(parts, ", "))
 	fmt.Fprintf(&b, "faults:     %d injected, %d corruptions, %d events errored\n",
 		r.FaultsInjected, r.Corruptions, r.Errors)
-	fmt.Fprintf(&b, "runtime:    %d switches, %d recoveries (%d instant)\n",
-		r.ViewSwitches, r.Recoveries, r.InstantRecoveries)
+	fmt.Fprintf(&b, "runtime:    %d switches (%d elided), %d recoveries (%d instant)\n",
+		r.ViewSwitches, r.ElidedSwitches, r.Recoveries, r.InstantRecoveries)
+	if r.MergedViewLoads > 0 {
+		fmt.Fprintf(&b, "sharedcore: %d merged views built\n", r.MergedViewLoads)
+	}
 	fmt.Fprintf(&b, "hotplug:    %d loads, %d unloads, %d live, %d pool runs\n",
 		r.Loads, r.Unloads, r.LiveViews, r.PoolRuns)
 	fmt.Fprintf(&b, "page cache: %d distinct, %d deduped, %.0f%% dedup, %d privatized\n",
@@ -340,6 +352,7 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.LegacySwitch {
 		opts = core.DefaultOptions()
 	}
+	opts.SharedCore = cfg.SharedCore
 	rt, err := core.New(core.Setup{
 		Machine:  k.M,
 		Symbols:  k.Syms,
@@ -534,7 +547,8 @@ func (s *Simulator) finalSweep() *Violation {
 //
 //   - no ring drops at the configured capacity;
 //   - every recovery the runtime performed is exactly one KindRecovery
-//     event, and every committed switch exactly one switch event;
+//     event, every committed switch exactly one switch event, and every
+//     elided switch exactly one elided-switch event;
 //   - every unknown-provenance recovery yielded exactly one unknown-origin
 //     classification in the detection engine.
 func (s *Simulator) checkTelemetry() error {
@@ -548,8 +562,12 @@ func (s *Simulator) checkTelemetry() error {
 	if s.tel.recoveries != s.rt.Recoveries {
 		return fmt.Errorf("telemetry: %d recovery events vs %d runtime recoveries", s.tel.recoveries, s.rt.Recoveries)
 	}
-	if sw := s.tel.agg.Stats().Switches; sw != s.rt.ViewSwitches {
-		return fmt.Errorf("telemetry: %d switch events vs %d runtime switches", sw, s.rt.ViewSwitches)
+	st := s.tel.agg.Stats()
+	if st.Switches != s.rt.ViewSwitches {
+		return fmt.Errorf("telemetry: %d switch events vs %d runtime switches", st.Switches, s.rt.ViewSwitches)
+	}
+	if el := st.ByKind[telemetry.KindElidedSwitch]; el != s.rt.ElidedSwitches {
+		return fmt.Errorf("telemetry: %d elided-switch events vs %d runtime elisions", el, s.rt.ElidedSwitches)
 	}
 	if got := s.tel.eng.Stats().ByClass[detect.ClassUnknownOrigin]; got != s.tel.unknown {
 		return fmt.Errorf("telemetry: %d unknown-origin verdicts vs %d unknown-provenance recoveries", got, s.tel.unknown)
@@ -624,6 +642,8 @@ func (s *Simulator) finish(v *Violation) (*Result, error) {
 	s.res.Recoveries = s.rt.Recoveries
 	s.res.InstantRecoveries = s.rt.InstantRecoveries
 	s.res.ViewSwitches = s.rt.ViewSwitches
+	s.res.ElidedSwitches = s.rt.ElidedSwitches
+	s.res.MergedViewLoads = s.rt.MergedViewLoads
 	s.res.LiveViews = len(s.rt.LoadedIndices())
 	s.res.Cache = s.rt.CacheStats()
 	if s.tel != nil {

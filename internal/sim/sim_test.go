@@ -482,3 +482,46 @@ func TestTelemetryDigestNeutral(t *testing.T) {
 		t.Error("NoTelemetry run reports an enabled pipeline")
 	}
 }
+
+// TestSharedCoreSim: with the shared-core policy on, co-scheduled apps on
+// a vCPU must coalesce into merged union views, collapsing re-switches
+// into elisions, with every invariant (including checkSharedCore's
+// registry/coverage checks and the cache refcount balance over the merged
+// views) holding across a faulted run.
+func TestSharedCoreSim(t *testing.T) {
+	for _, faults := range []FaultKind{FaultNone, FaultAll} {
+		res, err := Run(Config{Seed: 5, Steps: 2500, Faults: faults, SharedCore: true, NoPool: true})
+		if err != nil {
+			t.Fatalf("faults=%v: simulation failed: %v", faults, err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("faults=%v: violation: %v", faults, res.Violation)
+		}
+		if res.MergedViewLoads == 0 {
+			t.Errorf("faults=%v: no merged views built with SharedCore on", faults)
+		}
+		if res.ElidedSwitches == 0 {
+			t.Errorf("faults=%v: no elided switches with SharedCore on", faults)
+		}
+	}
+}
+
+// TestSharedCoreDigest: shared-core changes which views install, so it
+// must be digest-visible against the same seed — and deterministic with
+// itself.
+func TestSharedCoreDigest(t *testing.T) {
+	cfg := Config{Seed: 21, Steps: 1200, NoPool: true}
+	base, errA := Run(cfg)
+	cfg.SharedCore = true
+	sc, errB := Run(cfg)
+	sc2, errC := Run(cfg)
+	if errA != nil || errB != nil || errC != nil {
+		t.Fatalf("runs failed: %v / %v / %v", errA, errB, errC)
+	}
+	if base.Digest == sc.Digest {
+		t.Fatalf("SharedCore is digest-invisible: %016x both ways", base.Digest)
+	}
+	if sc.Digest != sc2.Digest {
+		t.Fatalf("SharedCore run not deterministic: %016x != %016x", sc.Digest, sc2.Digest)
+	}
+}

@@ -59,6 +59,11 @@ const (
 	// KindCacheMiss counts shadow pages that had to be allocated during
 	// one view load (N = pages).
 	KindCacheMiss
+	// KindElidedSwitch is a context switch whose incoming task resolved to
+	// the already-installed view: the root swap was skipped (same-view
+	// elision, including shared-core merged views covering the task). Not
+	// counted as a committed switch.
+	KindElidedSwitch
 
 	// NumKinds is the number of event kinds.
 	NumKinds
@@ -67,6 +72,7 @@ const (
 var kindNames = [NumKinds]string{
 	"recovery", "switch", "eptp-swap", "ud2-trap",
 	"view-load", "view-unload", "cache-hit", "cache-miss",
+	"elided-switch",
 }
 
 func (k Kind) String() string {
@@ -167,7 +173,7 @@ func (e Event) String() string {
 		return b.String()
 	case KindUD2Trap:
 		return fmt.Sprintf("%s cpu%d 0x%08x view=%s comm=%s", e.Kind, e.CPU, e.Addr, e.View, e.Comm)
-	case KindSwitch, KindEPTPSwap, KindViewLoad, KindViewUnload:
+	case KindSwitch, KindEPTPSwap, KindElidedSwitch, KindViewLoad, KindViewUnload:
 		view := e.View
 		if view == "" {
 			view = "<full>"

@@ -50,6 +50,24 @@ func (b *RemoteBuffer) Emit(ev Event) {
 // HandleEvent implements Sink.
 func (b *RemoteBuffer) HandleEvent(ev Event) { b.Emit(ev) }
 
+// HandleBatch implements BatchSink: one lock acquisition and one bulk
+// append per drain round. Events beyond the cap are dropped with
+// accounting, exactly as per-event Emit would.
+func (b *RemoteBuffer) HandleBatch(evs []Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	room := b.max - len(b.buf)
+	if room <= 0 {
+		b.drops += uint64(len(evs))
+		return
+	}
+	if room < len(evs) {
+		b.drops += uint64(len(evs) - room)
+		evs = evs[:room]
+	}
+	b.buf = append(b.buf, evs...)
+}
+
 // TakeBatch removes and returns up to n buffered events (all of them when
 // n <= 0), oldest first. Nil when empty.
 func (b *RemoteBuffer) TakeBatch(n int) []Event {
@@ -83,6 +101,17 @@ func (b *RemoteBuffer) PeekBatch(n int) []Event {
 		n = len(b.buf)
 	}
 	return append([]Event(nil), b.buf[:n]...)
+}
+
+// PeekBatchInto copies up to len(dst) of the oldest buffered events into
+// caller-owned scratch without removing them, returning the count. The
+// allocation-free sibling of PeekBatch for relay loops that flush on a
+// steady cadence.
+func (b *RemoteBuffer) PeekBatchInto(dst []Event) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := copy(dst, b.buf)
+	return n
 }
 
 // Commit removes the n oldest events (a batch previously returned by

@@ -66,6 +66,52 @@ func (r *Ring) Pop() (Event, bool) {
 	return ev, true
 }
 
+// PopBatch dequeues up to len(dst) of the oldest events into the
+// caller-owned scratch and returns how many were moved. One atomic head
+// load and one tail store cover the whole batch, amortizing the
+// cross-core traffic a per-event Pop loop pays on every element. Order is
+// the push order; drop accounting is untouched (drops happen only on the
+// producer side, in Push).
+func (r *Ring) PopBatch(dst []Event) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	tail := r.tail.Load()
+	n := int(r.head.Load() - tail)
+	if n == 0 {
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = r.buf[(tail+uint64(i))&r.mask]
+	}
+	r.tail.Store(tail + uint64(n))
+	return n
+}
+
+// PeekBatch copies up to len(dst) of the oldest events into the
+// caller-owned scratch without consuming them (consumer side only).
+// A later PopBatch removes them.
+func (r *Ring) PeekBatch(dst []Event) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	tail := r.tail.Load()
+	n := int(r.head.Load() - tail)
+	if n == 0 {
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = r.buf[(tail+uint64(i))&r.mask]
+	}
+	return n
+}
+
 // Peek returns the oldest event without consuming it (consumer side only).
 func (r *Ring) Peek() (Event, bool) {
 	tail := r.tail.Load()

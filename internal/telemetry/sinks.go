@@ -67,6 +67,21 @@ func NewAggregator(n int) *Aggregator {
 func (a *Aggregator) HandleEvent(ev Event) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.consume(ev)
+}
+
+// HandleBatch implements BatchSink: one lock acquisition per drain round.
+// Tail entries are copied by value, so the hub reusing the batch scratch
+// is safe.
+func (a *Aggregator) HandleBatch(evs []Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, ev := range evs {
+		a.consume(ev)
+	}
+}
+
+func (a *Aggregator) consume(ev Event) {
 	a.st.Total++
 	a.st.ByKind[ev.Kind]++
 	switch ev.Kind {
@@ -193,6 +208,19 @@ func NewHistogramSink() *HistogramSink {
 func (s *HistogramSink) HandleEvent(ev Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.consume(ev)
+}
+
+// HandleBatch implements BatchSink: one lock acquisition per drain round.
+func (s *HistogramSink) HandleBatch(evs []Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ev := range evs {
+		s.consume(ev)
+	}
+}
+
+func (s *HistogramSink) consume(ev Event) {
 	s.total++
 	if int(ev.Kind) < len(s.byKind) {
 		s.byKind[ev.Kind]++
@@ -293,6 +321,17 @@ func (j *JSONLWriter) HandleEvent(ev Event) {
 		return
 	}
 	j.err = j.enc.Encode(ev)
+}
+
+// HandleBatch implements BatchSink: encode a whole drain round back to
+// back into the buffered writer, short-circuiting once an error sticks.
+func (j *JSONLWriter) HandleBatch(evs []Event) {
+	for i := range evs {
+		if j.err != nil {
+			return
+		}
+		j.err = j.enc.Encode(evs[i])
+	}
 }
 
 // Flush implements Flusher.
