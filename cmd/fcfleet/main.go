@@ -6,7 +6,10 @@
 //     it to every node, runs per-node workloads, hot-pushes an updated
 //     view, and prints per-node convergence digests. With -listen, the
 //     fleet-wide /metrics (central hub + control plane) stays served
-//     after the run.
+//     after the run. With -shards N the control plane becomes a sharded
+//     plane (ring-partitioned catalog, homing nodes, relayed telemetry);
+//     -kill-shard severs one shard mid-run to demo failover, and -ring
+//     prints the consistent-hash ownership of every view.
 //
 //   - server (-serve ADDR): profile the catalog once and serve it to
 //     remote nodes over TCP, relaying their telemetry into the central
@@ -17,6 +20,7 @@
 //     synced catalog if the server goes away.
 //
 //     fcfleet -nodes 4 -listen 127.0.0.1:9140 -hold
+//     fcfleet -nodes 6 -shards 3 -kill-shard -ring
 //     fcfleet -serve :7200 -listen :9140
 //     fcfleet -join server:7200 -app apache
 package main
@@ -41,6 +45,9 @@ import (
 func main() {
 	var (
 		nodes    = flag.Int("nodes", 4, "demo mode: in-process fleet size")
+		shards   = flag.Int("shards", 1, "demo mode: shard the control plane this many ways (ring-routed catalog, homing nodes, relayed telemetry)")
+		killSh   = flag.Bool("kill-shard", false, "demo mode with -shards: sever one non-aggregator shard mid-run (failover demo)")
+		ring     = flag.Bool("ring", false, "demo mode with -shards: print the consistent-hash ownership of every catalog view")
 		appsFlag = flag.String("apps", "apache,gzip", "catalog applications (csv)")
 		syscalls = flag.Int("syscalls", 150, "workload length per node")
 		profile  = flag.Int("profile", 300, "profiling depth per application")
@@ -67,7 +74,11 @@ func main() {
 	case *joinAddr != "":
 		err = runNode(*joinAddr, *nodeID, *appName, *syscalls, *hold, logf)
 	default:
-		err = runDemo(*nodes, strings.Split(*appsFlag, ","), *profile, *syscalls, *listen, *hold, logf)
+		err = runDemo(demoConfig{
+			nodes: *nodes, shards: *shards, killShard: *killSh, ring: *ring,
+			apps: strings.Split(*appsFlag, ","), profile: *profile,
+			syscalls: *syscalls, listen: *listen, hold: *hold,
+		}, logf)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fcfleet:", err)
@@ -75,31 +86,45 @@ func main() {
 	}
 }
 
+type demoConfig struct {
+	nodes, shards     int
+	killShard, ring   bool
+	apps              []string
+	profile, syscalls int
+	listen            string
+	hold              bool
+}
+
 // runDemo runs the in-process fleet and prints per-node digests — the CI
 // smoke asserts every line carries the same catalog digest.
-func runDemo(nodes int, appNames []string, profile, syscalls int, listen string, hold bool, logf func(string, ...any)) error {
+func runDemo(cfg demoConfig, logf func(string, ...any)) error {
 	hub := telemetry.NewHub(telemetry.HubConfig{})
 	hub.Start()
 
 	res, err := eval.RunFleet(eval.FleetConfig{
-		Nodes:    nodes,
-		Apps:     appNames,
-		Profile:  facechange.ProfileConfig{Syscalls: profile},
-		Syscalls: syscalls,
-		Hub:      hub,
-		Logf:     logf,
+		Nodes:     cfg.nodes,
+		Apps:      cfg.apps,
+		Profile:   facechange.ProfileConfig{Syscalls: cfg.profile},
+		Syscalls:  cfg.syscalls,
+		Hub:       hub,
+		Shards:    cfg.shards,
+		KillShard: cfg.killShard,
+		Logf:      logf,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Print(res.Summary())
+	if cfg.ring {
+		fmt.Print(res.RingLayout())
+	}
 	if !res.Converged {
 		return fmt.Errorf("fleet did not converge")
 	}
-	if err := serveMetrics(listen, hub, res.Server); err != nil {
+	if err := serveMetrics(cfg.listen, hub, res.Server); err != nil {
 		return err
 	}
-	if hold {
+	if cfg.hold {
 		select {}
 	}
 	return nil

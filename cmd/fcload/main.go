@@ -15,6 +15,7 @@
 //	fcload -seed 1 -apps 12 -skew 1.1 -events 1000000
 //	fcload -seed 7 -arrival closed -think 4000 -slo p99=60000,recovery.p999=200000
 //	fcload -seed 1 -fleet -nodes 3 -events 50000 -out BENCH_load.json
+//	fcload -seed 1 -fleet -nodes 6 -shards 3 -events 50000
 //	fcload -seed 1 -events 50000 -diff BENCH_load.json -difftol 0.10
 package main
 
@@ -46,6 +47,7 @@ func main() {
 		shcore   = flag.Bool("sharedcore", false, "merge co-scheduled apps' views per vCPU into union views (changes the report digest)")
 		fleetM   = flag.Bool("fleet", false, "drive fleet nodes synced from a control-plane server instead of local runtimes")
 		nodes    = flag.Int("nodes", 3, "fleet size under -fleet")
+		shards   = flag.Int("shards", 1, "under -fleet: partition the control plane into this many shards (ring-routed catalog, homing nodes, relayed telemetry)")
 		slo      = flag.String("slo", "", "comma-separated latency bounds, e.g. p99=40000,recovery.p999=200000")
 		diffPath = flag.String("diff", "", "compare against a prior JSON report; exit 1 on percentile regression beyond -difftol")
 		diffTol  = flag.Float64("difftol", 0.10, "fractional slowdown tolerated by -diff (0.10 = +10%)")
@@ -81,6 +83,7 @@ func main() {
 	}
 	if *fleetM {
 		cfg.Nodes = *nodes
+		cfg.Shards = *shards
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

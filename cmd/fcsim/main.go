@@ -37,6 +37,7 @@ func main() {
 		notel   = flag.Bool("notelemetry", false, "detach the telemetry pipeline (skips stream-completeness checks)")
 		evolveF = flag.Bool("evolve", false, "run the online view-evolution loop: benign recoveries promote into hot-plugged view generations (changes the digest)")
 		shcore  = flag.Bool("sharedcore", false, "merge co-scheduled apps' views per vCPU into union views (changes the digest)")
+		shadapt = flag.Bool("sharedcore-adaptive", false, "adaptive shared-core: merge only above the per-vCPU switch-rate threshold and split unions on suspect verdicts (implies -sharedcore)")
 		verbose = flag.Bool("v", false, "log progress")
 	)
 	flag.Parse()
@@ -62,6 +63,8 @@ func main() {
 		NoTelemetry:  *notel,
 		Evolve:       *evolveF,
 		SharedCore:   *shcore,
+
+		SharedCoreAdaptive: *shadapt,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

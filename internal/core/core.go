@@ -67,6 +67,21 @@ type Options struct {
 	// a merged view exposes the union of its members' kernel code to each
 	// of them. Off by default.
 	SharedCore bool
+	// SharedCoreAdaptive makes the shared-core policy earn its merges
+	// instead of merging on first contact. A vCPU merges only above a
+	// switch-rate threshold: the incoming task joins the member set only
+	// after sharedCoreRateThreshold would-switch decisions landed within
+	// SharedCoreRateWindow cycles on that vCPU — a core that switches
+	// rarely keeps precise per-app views and only a quantum-frequency
+	// ping-pong pays the union's exposure. It also arms the suspect
+	// split: SplitShared retires every union containing a suspect view
+	// and deny-lists it from future merges, so detection verdicts narrow
+	// exposure back down at runtime. Ignored unless SharedCore is set.
+	SharedCoreAdaptive bool
+	// SharedCoreRateWindow overrides the adaptive policy's cycle window
+	// (default DefaultSharedCoreRateWindow). Smaller windows demand a
+	// hotter core before merging.
+	SharedCoreRateWindow uint64
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -103,6 +118,14 @@ type cpuViewState struct {
 	active      int
 	last        int
 	resumeArmed bool
+	// scStamps is the adaptive shared-core switch-pressure window: the
+	// cycle stamps of this vCPU's most recent would-switch decisions, a
+	// fixed circular buffer so the trap path never allocates. scPos is
+	// the next slot (and, once filled, the oldest stamp); scFilled counts
+	// occupied slots until the buffer wraps for the first time.
+	scStamps [sharedCoreRateThreshold]uint64
+	scPos    int
+	scFilled int
 }
 
 // Runtime is the FACE-CHANGE hypervisor component.
@@ -153,6 +176,14 @@ type Runtime struct {
 	scSingle [1]int
 	// scKey is the member-set key scratch, reused across traps (mu held).
 	scKey []byte
+	// scDeny is the shared-core deny-list: view indices a suspect verdict
+	// split out of merging (SplitShared). A denied view runs under its
+	// own precise view and never joins a union again; indices are never
+	// reused within a runtime, so entries cannot alias a later view. A
+	// reloaded view gets a fresh index and starts clean.
+	scDeny map[int]bool
+	// scRateWindow is the resolved adaptive window in cycles.
+	scRateWindow uint64
 
 	// cache interns shadow pages by content so identical pages (UD2
 	// filler, shared loaded code) are stored once across views.
@@ -217,6 +248,10 @@ type Runtime struct {
 	// merged view retired on member unload is rebuilt on demand and counts
 	// again). Zero unless Options.SharedCore.
 	MergedViewLoads uint64
+	// MergedViewSplits counts shared-core union views retired by the
+	// suspect-split path (SplitShared). Zero unless the adaptive policy's
+	// split API fired.
+	MergedViewSplits uint64
 }
 
 // New attaches a FACE-CHANGE runtime to the machine. The runtime starts
@@ -237,7 +272,12 @@ func New(s Setup) (*Runtime, error) {
 		commIntern: make(map[string]string),
 		mergedIdx:  make(map[string]int),
 		mergedOf:   make(map[int][]int),
+		scDeny:     make(map[int]bool),
 		cache:      mem.NewPageCache(s.Machine.Host),
+	}
+	r.scRateWindow = s.Opts.SharedCoreRateWindow
+	if r.scRateWindow == 0 {
+		r.scRateWindow = DefaultSharedCoreRateWindow
 	}
 	r.ctxSwitchAddr = s.Symbols.MustAddr("context_switch")
 	r.resumeAddr = s.Symbols.MustAddr("resume_userspace")

@@ -24,6 +24,60 @@ import (
 // restarts from the incoming app instead of widening further.
 const sharedCoreMaxMembers = 4
 
+// sharedCoreRateThreshold is the adaptive policy's pressure bar: a vCPU
+// merges only after this many would-switch decisions landed within the
+// rate window. It is also the switch-stamp buffer's size.
+const sharedCoreRateThreshold = 8
+
+// DefaultSharedCoreRateWindow is the adaptive policy's default cycle
+// window (Options.SharedCoreRateWindow overrides it): the span within
+// which sharedCoreRateThreshold would-switches mark a vCPU hot enough to
+// merge.
+const DefaultSharedCoreRateWindow = 1 << 20
+
+// sharedCoreResolve is the context-switch trap's shared-core entry: the
+// plain policy merges on first contact; the adaptive one makes merging
+// earn its exposure. Adaptive resolution is sticky — a task already
+// covered by the active union stays on it, so a merged core does not
+// oscillate when its own elisions cool the pressure window — and gated:
+// an uncovered task joins a union only when this vCPU's recent
+// would-switch rate clears the threshold. Denied (suspect-split) views
+// always resolve to themselves.
+func (r *Runtime) sharedCoreResolve(idx int, st *cpuViewState) int {
+	if !r.opts.SharedCoreAdaptive {
+		return r.sharedCoreTarget(idx, st)
+	}
+	if r.scDeny[idx] {
+		return idx
+	}
+	cur := st.active
+	if cur == idx {
+		return idx
+	}
+	for _, m := range r.mergedOf[cur] {
+		if m == idx {
+			return cur
+		}
+	}
+	if !st.noteSwitchPressure(r.m.Cycles(), r.scRateWindow) {
+		return idx
+	}
+	return r.sharedCoreTarget(idx, st)
+}
+
+// noteSwitchPressure stamps one would-switch decision and reports whether
+// the vCPU is above the merge threshold: the oldest of the last
+// sharedCoreRateThreshold stamps still falls within the window.
+func (st *cpuViewState) noteSwitchPressure(now, window uint64) bool {
+	hot := st.scFilled == sharedCoreRateThreshold && now-st.scStamps[st.scPos] <= window
+	st.scStamps[st.scPos] = now
+	st.scPos = (st.scPos + 1) % sharedCoreRateThreshold
+	if st.scFilled < sharedCoreRateThreshold {
+		st.scFilled++
+	}
+	return hot
+}
+
 // sharedCoreTarget resolves a context-switch decision under SharedCore:
 // given the incoming task's own view index (a custom view, never
 // FullView), return the view to install on this vCPU. In steady state —
@@ -34,7 +88,7 @@ const sharedCoreMaxMembers = 4
 // fallback — correctness never depends on the merge.
 func (r *Runtime) sharedCoreTarget(idx int, st *cpuViewState) int {
 	cur := st.active
-	if cur == idx {
+	if cur == idx || r.scDeny[idx] {
 		return idx
 	}
 	members := r.mergedOf[cur]
@@ -58,6 +112,13 @@ func (r *Runtime) sharedCoreTarget(idx int, st *cpuViewState) int {
 	}
 	if len(set) == 1 {
 		return set[0]
+	}
+	for _, m := range set {
+		if r.scDeny[m] {
+			// A suspect member poisons the whole union: the incoming task
+			// runs under its own precise view instead.
+			return idx
+		}
 	}
 	r.scKey = appendSetKey(r.scKey[:0], set)
 	if mi, ok := r.mergedIdx[string(r.scKey)]; ok && r.viewByIndex(mi) != nil {
@@ -94,12 +155,12 @@ func (r *Runtime) loadMergedView(set []int, key string) (int, error) {
 	return idx, nil
 }
 
-// retireMergedFor cleans the merge registry after view idx unloaded:
-// drop idx's own registry entries if it was a merged view, then unload
-// every merged view that had idx as a member — their unions would
-// otherwise keep exposing the departed application's kernel code.
-// Caller holds mu.
-func (r *Runtime) retireMergedFor(idx int) {
+// retireMergedFor cleans the merge registry after view idx unloaded (or
+// turned suspect): drop idx's own registry entries if it was a merged
+// view, then unload every merged view that had idx as a member — their
+// unions would otherwise keep exposing the departed application's kernel
+// code. Returns the number of merged views retired. Caller holds mu.
+func (r *Runtime) retireMergedFor(idx int) int {
 	if set, ok := r.mergedOf[idx]; ok {
 		delete(r.mergedIdx, string(appendSetKey(r.scKey[:0], set)))
 		delete(r.mergedOf, idx)
@@ -120,6 +181,43 @@ func (r *Runtime) retireMergedFor(idx int) {
 		// fail, so the unload cannot error.
 		_ = r.unloadView(mi)
 	}
+	return len(retire)
+}
+
+// SplitShared splits the named view out of shared-core merging: every
+// union counting it as a member is retired (vCPUs running one revert and
+// re-resolve at their next trap) and the view joins the deny-list, so it
+// never merges again and co-scheduled peers stop sharing its exposure.
+// This is the adaptive policy's verdict hook — a detection engine that
+// suspects an application calls it to narrow that application back to
+// its precise view. Returns false when no view of that name is loaded.
+//
+// Call it from the telemetry pipeline's drain side (a hub sink), never
+// from an emitter: emitters run inside the trap path with the runtime's
+// lock held, and SplitShared takes that lock.
+func (r *Runtime) SplitShared(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx, ok := r.byName[name]
+	if !ok {
+		return false
+	}
+	r.scDeny[idx] = true
+	r.MergedViewSplits += uint64(r.retireMergedFor(idx))
+	return true
+}
+
+// SharedSuspects returns the sorted view indices on the shared-core
+// deny-list. Safe concurrently with traps.
+func (r *Runtime) SharedSuspects() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, 0, len(r.scDeny))
+	for i := range r.scDeny {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // appendSetKey renders a sorted member set as a registry key into dst

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"testing"
+)
+
+// adaptiveOpts is the adaptive shared-core test configuration: immediate
+// switches (no resume deferral) so every context-switch trap resolves a
+// view decision on the spot.
+func adaptiveOpts(window uint64) Options {
+	o := DefaultOptions()
+	o.SwitchAtResume = false
+	o.SharedCore = true
+	o.SharedCoreAdaptive = true
+	o.SharedCoreRateWindow = window
+	return o
+}
+
+// TestSharedCoreAdaptiveGate: below the switch-rate threshold the
+// adaptive policy keeps precise per-app views (no unions are built); once
+// a vCPU's would-switch rate clears the threshold the ping-ponging pair
+// merges, and coverage is sticky from then on.
+func TestSharedCoreAdaptiveGate(t *testing.T) {
+	rig := newSwitchRig(t, 1, adaptiveOpts(0)) // default window
+	rt := rig.rt
+
+	// Drive an A/B ping-pong. The first sharedCoreRateThreshold
+	// decisions only fill the pressure window: each installs the task's
+	// own view, and no merged view exists.
+	comms := []string{"appA", "appB"}
+	for i := 0; i < sharedCoreRateThreshold; i++ {
+		rig.trap(t, 0, "ctx", comms[i%2])
+		if got := rt.MergedViewLoads; got != 0 {
+			t.Fatalf("decision %d: %d merged views built below the threshold", i+1, got)
+		}
+		if active := rt.cpus[0].active; active != rig.idx[comms[i%2]] {
+			t.Fatalf("decision %d: active view %d, want the task's own view %d", i+1, active, rig.idx[comms[i%2]])
+		}
+	}
+
+	// The threshold-crossing decision merges.
+	rig.trap(t, 0, "ctx", comms[sharedCoreRateThreshold%2])
+	if got := rt.MergedViewLoads; got != 1 {
+		t.Fatalf("threshold-crossing decision built %d merged views, want 1", got)
+	}
+	merged := rt.cpus[0].active
+	if len(rt.MergedViews()[merged]) != 2 {
+		t.Fatalf("active view %d is not the two-member union: registry %v", merged, rt.MergedViews())
+	}
+
+	// Sticky coverage: both tasks now elide on the union even though
+	// elisions stamp no new pressure.
+	elided := rt.ElidedSwitches
+	for i := 0; i < 6; i++ {
+		rig.trap(t, 0, "ctx", comms[i%2])
+		if active := rt.cpus[0].active; active != merged {
+			t.Fatalf("covered decision %d left the union: active %d, want %d", i+1, active, merged)
+		}
+	}
+	if got := rt.ElidedSwitches - elided; got != 6 {
+		t.Fatalf("%d elisions on the covered union, want 6", got)
+	}
+	if got := rt.MergedViewLoads; got != 1 {
+		t.Fatalf("steady state rebuilt unions: %d loads, want 1", got)
+	}
+}
+
+// TestSharedCoreAdaptiveColdWindow: a window too small for the machine's
+// switch costs never heats, so the adaptive policy degenerates to plain
+// per-app switching — the ablation baseline.
+func TestSharedCoreAdaptiveColdWindow(t *testing.T) {
+	rig := newSwitchRig(t, 1, adaptiveOpts(1))
+	for i := 0; i < 40; i++ {
+		rig.trap(t, 0, "ctx", []string{"appA", "appB"}[i%2])
+	}
+	if got := rig.rt.MergedViewLoads; got != 0 {
+		t.Fatalf("cold window built %d merged views, want 0", got)
+	}
+	if got := rig.rt.ViewSwitches; got != 40 {
+		t.Fatalf("%d committed switches, want 40 (every decision installs the task's own view)", got)
+	}
+}
+
+// TestSharedCoreSplit: a suspect verdict splits its view out of the
+// union — the merged view retires, the vCPU re-resolves, and the denied
+// view never merges again — while the peer keeps its own precise view.
+func TestSharedCoreSplit(t *testing.T) {
+	o := DefaultOptions()
+	o.SwitchAtResume = false
+	o.SharedCore = true
+	rig := newSwitchRig(t, 1, o)
+	rt := rig.rt
+
+	// Plain shared-core merges on first contact.
+	rig.trap(t, 0, "ctx", "appA")
+	rig.trap(t, 0, "ctx", "appB")
+	if rt.MergedViewLoads != 1 {
+		t.Fatalf("%d merged views built, want 1", rt.MergedViewLoads)
+	}
+	merged := rt.cpus[0].active
+	if len(rt.MergedViews()[merged]) != 2 {
+		t.Fatalf("active %d is not the union: %v", merged, rt.MergedViews())
+	}
+
+	if rt.SplitShared("no-such-app") {
+		t.Fatal("SplitShared accepted an unknown view name")
+	}
+	if !rt.SplitShared("appA") {
+		t.Fatal("SplitShared rejected a loaded view")
+	}
+	if rt.MergedViewSplits != 1 {
+		t.Fatalf("MergedViewSplits = %d, want 1", rt.MergedViewSplits)
+	}
+	if len(rt.MergedViews()) != 0 {
+		t.Fatalf("union survived the split: %v", rt.MergedViews())
+	}
+	if sus := rt.SharedSuspects(); len(sus) != 1 || sus[0] != rig.idx["appA"] {
+		t.Fatalf("SharedSuspects = %v, want [%d]", sus, rig.idx["appA"])
+	}
+	// The split reverted the vCPU off the retired union.
+	if active := rt.cpus[0].active; active == merged {
+		t.Fatalf("vCPU still runs the retired union %d", merged)
+	}
+
+	// The denied view re-resolves to itself and poisons future unions:
+	// ping-ponging A/B again must not rebuild one.
+	for i := 0; i < 8; i++ {
+		comm := []string{"appA", "appB"}[i%2]
+		rig.trap(t, 0, "ctx", comm)
+		if active := rt.cpus[0].active; active != rig.idx[comm] {
+			t.Fatalf("post-split decision %d: active %d, want the task's own view %d", i+1, active, rig.idx[comm])
+		}
+	}
+	if rt.MergedViewLoads != 1 {
+		t.Fatalf("denied member re-merged: %d loads, want 1", rt.MergedViewLoads)
+	}
+	// Splitting again is idempotent: nothing left to retire.
+	if !rt.SplitShared("appA") || rt.MergedViewSplits != 1 {
+		t.Fatalf("re-split changed state: splits=%d, want 1", rt.MergedViewSplits)
+	}
+}

@@ -26,8 +26,9 @@ func (r *Runtime) OnAddrTrap(m *hv.Machine, cpu *hv.CPU) error {
 			// Shared-core policy: resolve the task's view against this
 			// vCPU's co-scheduled member set (possibly loading a merged
 			// union view); a covered task resolves to the active view and
-			// elides below.
-			idx = r.sharedCoreTarget(idx, st)
+			// elides below. The adaptive variant additionally gates new
+			// merges on switch pressure and honors the suspect deny-list.
+			idx = r.sharedCoreResolve(idx, st)
 		}
 		if r.opts.SameViewElision && idx == st.active {
 			// Previous and next process use the same kernel view: avoid

@@ -19,6 +19,7 @@ import (
 	"facechange"
 	"facechange/internal/apps"
 	"facechange/internal/fleet"
+	fleetshard "facechange/internal/fleet/shard"
 	"facechange/internal/kview"
 	"facechange/internal/telemetry"
 )
@@ -41,6 +42,18 @@ type FleetConfig struct {
 	// nil; either way RunFleet does not close it — the caller may keep
 	// serving /metrics from it after the run.
 	Hub *telemetry.Hub
+	// Shards, when >1, runs the control plane as a sharded multi-region
+	// plane: the catalog partitions onto a consistent-hash ring (mirrored
+	// everywhere, so any shard serves any chunk), nodes auto-discover the
+	// topology and home onto their ring shard, and telemetry relays
+	// shard-local then hub-to-hub into the aggregator shard.
+	Shards int
+	// KillShard, in sharded mode, severs one non-aggregator shard while
+	// the node workloads (and their telemetry) are in flight — the
+	// failover demo: its nodes walk the ring to the successor, resume
+	// delta sync from interned chunks, and the final convergence and
+	// telemetry accounting must hold regardless.
+	KillShard bool
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -74,6 +87,8 @@ type FleetNodeResult struct {
 	Syncs    uint64 `json:"syncs"`
 	Retries  uint64 `json:"retries"`
 	Drops    uint64 `json:"telemetry_drops"`
+	// Home is the shard the node's last session reached (sharded planes).
+	Home string `json:"home,omitempty"`
 }
 
 // FleetResult aggregates a fleet run.
@@ -93,20 +108,59 @@ type FleetResult struct {
 	// Events relayed into the central hub across the whole fleet.
 	Events uint64 `json:"events"`
 
-	// Server stays queryable after the run (catalog, WriteMetrics).
+	// Sharded-plane topology: shard count, the telemetry aggregation
+	// shard, the shard severed by KillShard (empty otherwise), and the
+	// ring ownership of every catalog view at the end of the run.
+	Shards      int               `json:"shards,omitempty"`
+	Aggregator  string            `json:"aggregator,omitempty"`
+	KilledShard string            `json:"killed_shard,omitempty"`
+	RingOwners  map[string]string `json:"ring_owners,omitempty"`
+
+	// Server stays queryable after the run (catalog, WriteMetrics). On a
+	// sharded plane it is the aggregator shard's server.
 	Server *fleet.Server `json:"-"`
 }
 
 // Summary renders the run for terminals.
 func (r *FleetResult) Summary() string {
 	s := fmt.Sprintf("fleet: catalog %s (%d views), converged=%v\n", r.Digest, r.Views, r.Converged)
+	if r.Shards > 1 {
+		s += fmt.Sprintf("fleet: %d shards, aggregator %s", r.Shards, r.Aggregator)
+		if r.KilledShard != "" {
+			s += fmt.Sprintf(", killed %s mid-run (failover)", r.KilledShard)
+		}
+		s += "\n"
+	}
 	for _, n := range r.Nodes {
-		s += fmt.Sprintf("  %-8s app=%-8s digest=%s views=%d in=%dB out=%dB syncs=%d retries=%d\n",
-			n.ID, n.App, n.Digest, n.Views, n.BytesIn, n.BytesOut, n.Syncs, n.Retries)
+		home := ""
+		if n.Home != "" {
+			home = " home=" + n.Home
+		}
+		s += fmt.Sprintf("  %-8s app=%-8s digest=%s views=%d in=%dB out=%dB syncs=%d retries=%d%s\n",
+			n.ID, n.App, n.Digest, n.Views, n.BytesIn, n.BytesOut, n.Syncs, n.Retries, home)
 	}
 	s += fmt.Sprintf("fleet: delta sync: first join %dB, last join %dB, %d interned-page hits (%dB saved)\n",
 		r.FirstJoinBytes, r.LastJoinBytes, r.DeltaCacheHits, r.DeltaBytesSaved)
 	s += fmt.Sprintf("fleet: %d telemetry events relayed to the central hub\n", r.Events)
+	return s
+}
+
+// RingLayout renders the consistent-hash ownership of every catalog view
+// — which shard a publish of each view routes to. Empty on unsharded
+// runs.
+func (r *FleetResult) RingLayout() string {
+	if len(r.RingOwners) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(r.RingOwners))
+	for n := range r.RingOwners {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := fmt.Sprintf("ring: %d views over %d shards:\n", len(names), r.Shards)
+	for _, n := range names {
+		s += fmt.Sprintf("  %-12s -> %s\n", n, r.RingOwners[n])
+	}
 	return s
 }
 
@@ -142,31 +196,70 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	}
 	sort.Strings(modules)
 
-	// Phase 2: control plane.
+	// Phase 2: control plane — one server, or a sharded plane.
 	hub := cfg.Hub
 	if hub == nil {
 		hub = telemetry.NewHub(telemetry.HubConfig{})
 		hub.Start()
 	}
-	srv := fleet.NewServer(fleet.ServerConfig{Hub: hub, Logf: cfg.Logf})
+	var (
+		srv     *fleet.Server           // metrics/catalog handle (aggregator on a plane)
+		plane   *fleetshard.Plane       // nil unless sharded
+		publish func(*kview.View) error // routes to the owner
+		digest  func() string           // expected convergence digest
+		wiring  func(nodeID string) (*fleetshard.Homing, func() (net.Conn, error), func(fleet.ShardMap))
+	)
+	if cfg.Shards > 1 {
+		infos := make([]fleet.ShardInfo, cfg.Shards)
+		for i := range infos {
+			infos[i] = fleet.ShardInfo{ID: fmt.Sprintf("s-%d", i)}
+		}
+		var err error
+		plane, err = fleetshard.NewPlane(fleetshard.PlaneConfig{Shards: infos, Hub: hub, Logf: cfg.Logf})
+		if err != nil {
+			return nil, fmt.Errorf("eval: plane: %w", err)
+		}
+		defer plane.Close()
+		agg, _ := plane.Member(plane.Aggregator())
+		srv = agg.Server()
+		publish = plane.Publish
+		digest = plane.Digest
+		wiring = func(id string) (*fleetshard.Homing, func() (net.Conn, error), func(fleet.ShardMap)) {
+			h := plane.NodeDialer(id)
+			return h, h.Dial, h.OnShardMap
+		}
+	} else {
+		srv = fleet.NewServer(fleet.ServerConfig{Hub: hub, Logf: cfg.Logf})
+		dial := func() (net.Conn, error) {
+			c, s := net.Pipe()
+			go srv.ServeConn(s)
+			return c, nil
+		}
+		publish = srv.Publish
+		digest = func() string { return srv.Catalog().Manifest().DigestString() }
+		wiring = func(string) (*fleetshard.Homing, func() (net.Conn, error), func(fleet.ShardMap)) {
+			return nil, dial, nil
+		}
+	}
 	for _, name := range cfg.Apps {
-		if err := srv.Publish(views[name]); err != nil {
+		if err := publish(views[name]); err != nil {
 			return nil, fmt.Errorf("eval: publish %s: %w", name, err)
 		}
 	}
-	dial := func() (net.Conn, error) {
-		c, s := net.Pipe()
-		go srv.ServeConn(s)
-		return c, nil
+	if plane != nil {
+		if err := plane.WaitConverged(30 * time.Second); err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
 	}
 
 	// Phase 3: sequential joins through one shared host chunk store.
 	store := fleet.NewChunkStore()
-	digest := srv.Catalog().Manifest().DigestString()
+	initial := digest()
 	type member struct {
-		node *fleet.Node
-		vm   *facechange.VM
-		app  apps.App
+		node  *fleet.Node
+		vm    *facechange.VM
+		app   apps.App
+		homer *fleetshard.Homing
 	}
 	var members []member
 	defer func() {
@@ -180,16 +273,19 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("eval: node %d: %w", i, err)
 		}
+		id := fmt.Sprintf("node-%d", i)
+		homer, dial, onMap := wiring(id)
 		n := fleet.NewNode(fleet.NodeConfig{
-			ID:            fmt.Sprintf("node-%d", i),
+			ID:            id,
 			Dial:          dial,
+			OnShardMap:    onMap,
 			Store:         store,
 			Runtime:       vm.Runtime,
 			FlushInterval: 5 * time.Millisecond,
 			Logf:          cfg.Logf,
 		})
 		n.Start()
-		if err := n.WaitDigest(digest, 30*time.Second); err != nil {
+		if err := n.WaitDigest(initial, 30*time.Second); err != nil {
 			n.Close()
 			return nil, fmt.Errorf("eval: node %d join: %w", i, err)
 		}
@@ -199,10 +295,22 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		}
 		lastJoin = in
 		cfg.Logf("fleet: node-%d joined: %d bytes, digest %s", i, in, n.Digest())
-		members = append(members, member{node: n, vm: vm, app: list[i%len(list)]})
+		members = append(members, member{node: n, vm: vm, app: list[i%len(list)], homer: homer})
 	}
 
 	// Phase 4: per-node workloads under the synced views, concurrently.
+	// In sharded mode with KillShard, one non-aggregator shard dies while
+	// these workloads stream telemetry: its nodes fail over along the
+	// ring, and nothing downstream of here is allowed to notice.
+	killed := ""
+	if plane != nil && cfg.KillShard {
+		for _, id := range plane.Alive() {
+			if id != plane.Aggregator() {
+				killed = id
+				break
+			}
+		}
+	}
 	errs := make(chan error, len(members))
 	for i := range members {
 		m := members[i]
@@ -212,32 +320,56 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 			errs <- m.vm.RunUntilDead(cfg.Budget)
 		}(int64(i) + 1)
 	}
+	if killed != "" {
+		if err := plane.Kill(killed); err != nil {
+			return nil, fmt.Errorf("eval: kill shard: %w", err)
+		}
+		cfg.Logf("fleet: killed shard %s mid-run", killed)
+	}
 	for range members {
 		if err := <-errs; err != nil {
 			return nil, fmt.Errorf("eval: fleet workload: %w", err)
 		}
 	}
 
-	// Phase 5: hot push mid-fleet — a union view reaches every node.
+	// Phase 5: hot push mid-fleet — a union view reaches every node (on a
+	// plane: routed to its ring owner, mirrored everywhere, discovered by
+	// each node from whichever shard it now homes on).
 	var all []*kview.View
 	for _, name := range cfg.Apps {
 		all = append(all, views[name])
 	}
 	union := kview.UnionViews("fleetwide", all...)
-	if err := srv.Publish(union); err != nil {
+	if err := publish(union); err != nil {
 		return nil, fmt.Errorf("eval: hot push: %w", err)
 	}
-	final := srv.Catalog().Manifest().DigestString()
+	final := digest()
 	for _, m := range members {
 		if err := m.node.WaitDigest(final, 30*time.Second); err != nil {
 			return nil, fmt.Errorf("eval: hot push convergence: %w", err)
 		}
 	}
 
-	// Drain each node's relay buffer before reading the central counters.
+	// Drain each node's relay buffer — and, on a plane, the shard relay
+	// queues — before reading the central counters.
 	for _, m := range members {
 		deadline := time.Now().Add(10 * time.Second)
 		for m.node.Telemetry().Len() > 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if plane != nil {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			queued := 0
+			for _, id := range plane.Alive() {
+				if m, ok := plane.Member(id); ok {
+					queued += m.QueueLen()
+				}
+			}
+			if queued == 0 {
+				break
+			}
 			time.Sleep(time.Millisecond)
 		}
 	}
@@ -250,6 +382,16 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		LastJoinBytes:  lastJoin,
 		Server:         srv,
 	}
+	if plane != nil {
+		res.Shards = cfg.Shards
+		res.Aggregator = plane.Aggregator()
+		res.KilledShard = killed
+		res.RingOwners = make(map[string]string)
+		ring := fleetshard.BuildRing(plane.Map())
+		for _, vm := range srv.Catalog().Manifest().Views {
+			res.RingOwners[vm.Name] = ring.OwnerDigest(vm.Digest)
+		}
+	}
 	st := store.Stats()
 	res.DeltaCacheHits = st.Hits
 	res.DeltaBytesSaved = st.BytesSavedTotal
@@ -258,7 +400,7 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		if s.Digest != final {
 			res.Converged = false
 		}
-		res.Nodes = append(res.Nodes, FleetNodeResult{
+		nr := FleetNodeResult{
 			ID:       s.ID,
 			App:      m.app.Name,
 			Digest:   s.Digest,
@@ -268,7 +410,11 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 			Syncs:    s.Syncs,
 			Retries:  s.Retries,
 			Drops:    s.Drops,
-		})
+		}
+		if m.homer != nil {
+			nr.Home = m.homer.Home()
+		}
+		res.Nodes = append(res.Nodes, nr)
 		m.node.Close()
 	}
 	members = nil

@@ -75,3 +75,62 @@ func TestRunFleetConvergesAndDeltaSyncs(t *testing.T) {
 		t.Errorf("server metrics missing catalog gauge:\n%s", sb.String())
 	}
 }
+
+// TestRunFleetShardedFailover is the fcfleet -shards 3 -kill-shard demo
+// as a test: a 3-shard plane, one shard severed while the workloads
+// stream telemetry, and the same convergence contract as the unsharded
+// run — every node ends on the plane digest, no telemetry drops.
+func TestRunFleetShardedFailover(t *testing.T) {
+	res, err := RunFleet(FleetConfig{
+		Nodes:     4,
+		Apps:      []string{"apache", "gzip"},
+		Profile:   facechange.ProfileConfig{Syscalls: 120},
+		Syscalls:  60,
+		Shards:    3,
+		KillShard: true,
+	})
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("sharded fleet did not converge: %+v", res)
+	}
+	if res.Shards != 3 || res.Aggregator == "" {
+		t.Fatalf("topology not reported: %+v", res)
+	}
+	if res.KilledShard == "" || res.KilledShard == res.Aggregator {
+		t.Fatalf("kill picked %q (aggregator %q)", res.KilledShard, res.Aggregator)
+	}
+	for _, n := range res.Nodes {
+		if n.Digest != res.Digest {
+			t.Errorf("%s digest %s != plane %s", n.ID, n.Digest, res.Digest)
+		}
+		if n.Drops != 0 {
+			t.Errorf("%s dropped %d telemetry events across the failover", n.ID, n.Drops)
+		}
+		if n.Home == "" {
+			t.Errorf("%s reports no home shard", n.ID)
+		}
+		if n.Home == res.KilledShard {
+			t.Errorf("%s still homed on the killed shard %s", n.ID, n.Home)
+		}
+	}
+	if res.Events == 0 {
+		t.Error("no telemetry events reached the aggregator hub")
+	}
+	// Every view must have a live ring owner.
+	if len(res.RingOwners) != res.Views {
+		t.Errorf("ring owners cover %d views, want %d", len(res.RingOwners), res.Views)
+	}
+	for view, owner := range res.RingOwners {
+		if owner == res.KilledShard {
+			t.Errorf("view %s still owned by the killed shard", view)
+		}
+	}
+	if !strings.Contains(res.Summary(), "killed "+res.KilledShard) {
+		t.Errorf("summary does not report the failover:\n%s", res.Summary())
+	}
+	if !strings.Contains(res.RingLayout(), "->") {
+		t.Errorf("ring layout empty:\n%s", res.RingLayout())
+	}
+}

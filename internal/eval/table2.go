@@ -28,6 +28,13 @@ type Table2Config struct {
 	// what a vCPU exposes, but verdicts attribute per app, so detection
 	// results must be unchanged.
 	SharedCore bool
+	// SharedCoreAdaptive enables the adaptive variant on top: merges are
+	// gated on per-vCPU switch pressure and the suspect-split deny-list
+	// is armed. Whether a scenario's switch cadence ever clears the
+	// threshold or not, detection attribution must still be unchanged —
+	// the policy trades exposure for switch rate, never verdicts. Implies
+	// SharedCore.
+	SharedCoreAdaptive bool
 }
 
 func (c *Table2Config) defaults() {
@@ -138,9 +145,10 @@ func runScenario(a malware.Attack, view *kview.View, infected bool, cfg Table2Co
 // recovery of the scenario streams through the pipeline.
 func runScenarioEmit(a malware.Attack, view *kview.View, infected bool, cfg Table2Config, emit telemetry.Emitter) (map[string]bool, []core.Event, error) {
 	var opts *core.Options
-	if cfg.SharedCore {
+	if cfg.SharedCore || cfg.SharedCoreAdaptive {
 		o := core.DefaultOptions()
 		o.SharedCore = true
+		o.SharedCoreAdaptive = cfg.SharedCoreAdaptive
 		opts = &o
 	}
 	vm, err := facechange.NewVM(facechange.VMConfig{

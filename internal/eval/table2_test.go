@@ -68,11 +68,26 @@ func TestTable2SharedCore(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs 16 attacks x 2 scenarios")
 	}
+	runTable2SharedCore(t, Table2Config{SharedCore: true}, "shared-core")
+}
+
+// TestTable2SharedCoreAdaptive re-runs the same sweep under the adaptive
+// policy: switch-rate-gated merging with the suspect-split deny-list
+// armed. The policy only changes what a vCPU exposes and when, never the
+// per-app verdict attribution, so the 16/16 result must hold here too.
+func TestTable2SharedCoreAdaptive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 16 attacks x 2 scenarios")
+	}
+	runTable2SharedCore(t, Table2Config{SharedCoreAdaptive: true}, "adaptive shared-core")
+}
+
+func runTable2SharedCore(t *testing.T, cfg Table2Config, label string) {
+	t.Helper()
 	tab, err := RunTable1(facechange.ProfileConfig{Syscalls: 400})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Table2Config{SharedCore: true}
 	cfg.defaults()
 	for _, a := range malware.Catalog() {
 		view, ok := tab.Views[a.Victim]
@@ -88,7 +103,7 @@ func TestTable2SharedCore(t *testing.T) {
 			t.Fatalf("%s attack run: %v", a.Name, err)
 		}
 		if ev := diff(names, baseline); len(ev) == 0 {
-			t.Errorf("shared-core run missed %s (paper: detects all 16)", a.Name)
+			t.Errorf("%s run missed %s (paper: detects all 16)", label, a.Name)
 		}
 	}
 }

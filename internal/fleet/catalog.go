@@ -143,6 +143,16 @@ func decodeManifest(p []byte) (Manifest, error) {
 	return m, nil
 }
 
+// ViewDigest returns the content digest of a view's canonical encoding —
+// the key a sharded plane hashes onto its ring to pick the owning shard.
+func ViewDigest(cfg *kview.View) (Hash, error) {
+	data, err := cfg.MarshalBinary()
+	if err != nil {
+		return Hash{}, err
+	}
+	return sha256.Sum256(data), nil
+}
+
 // SplitChunks cuts a view encoding into ChunkSize pieces and returns them
 // with their content hashes (the last chunk is short unless the encoding
 // is page-aligned).

@@ -29,6 +29,7 @@ type ChunkStore struct {
 	host    *mem.Host
 	cache   *mem.PageCache
 	entries map[Hash]*chunkEntry
+	dupPuts uint64
 }
 
 type chunkEntry struct {
@@ -37,9 +38,11 @@ type chunkEntry struct {
 	refs int
 }
 
-// NewChunkStore creates a store with its own host memory.
+// NewChunkStore creates a store with its own host memory. The backing
+// host is a page arena with no guest RAM: chunk pages all live above the
+// allocation origin, so fleets of per-node stores stay cheap.
 func NewChunkStore() *ChunkStore {
-	host := mem.NewHost()
+	host := mem.NewArenaHost()
 	return &ChunkStore{
 		host:    host,
 		cache:   mem.NewPageCache(host),
@@ -95,6 +98,10 @@ func (s *ChunkStore) Put(data []byte) (Hash, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.entries[h]; ok {
+		// A Put of resident content means the caller transferred bytes it
+		// could have Ref'd for free — the exact waste the failover tests
+		// assert away (a re-homed node must never re-download).
+		s.dupPuts++
 		page := make([]byte, mem.PageSize)
 		if err := s.host.Read(e.hpa, page); err != nil {
 			return Hash{}, err
@@ -151,6 +158,15 @@ func (s *ChunkStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.entries)
+}
+
+// DupPuts counts Puts of already-resident chunks — bytes downloaded that
+// delta sync should have saved. Zero across a shard failover is the
+// "resume from interned chunks, never re-download" proof.
+func (s *ChunkStore) DupPuts() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dupPuts
 }
 
 // Stats exposes the backing page cache's dedup statistics: Hits and

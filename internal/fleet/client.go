@@ -44,6 +44,15 @@ type NodeConfig struct {
 	// TelemetryBuf caps the relay buffer (default
 	// telemetry.DefaultRemoteBufferSize).
 	TelemetryBuf int
+	// OnShardMap, when non-nil, receives every shard-map gossip frame the
+	// server pushes (protocol v2). A Homing dialer hooks in here so the
+	// node re-homes onto the ring successor when a shard dies.
+	OnShardMap func(ShardMap)
+	// Apply, when non-nil, is called at each sync commit with the new
+	// manifest and its fully assembled views — the hook a shard member
+	// uses to mirror a peer's partition into its own catalog. An error
+	// aborts the sync (the previous complete catalog stays in place).
+	Apply func(m Manifest, views []*kview.View) error
 	// Logf, when non-nil, receives node lifecycle lines.
 	Logf func(format string, args ...any)
 }
@@ -74,12 +83,34 @@ type Node struct {
 	synced    bool     // n.last is a real catalog, not the zero value
 	connected bool
 	lastErr   error
+	// lastServer is the identity of the server the last committed sync
+	// came from (v2 sessions only). Generation counters are per-server,
+	// so the stale-generation guard is suspended until the first commit
+	// on a *different* server — re-homing onto a ring successor adopts
+	// its catalog whatever its generation counter says.
+	lastServer string
+	// relayNext is the node's cumulative telemetry relay sequence: events
+	// committed out of the relay buffer so far. v2 batches carry it so
+	// the aggregation point can dedupe re-sends after a shard death.
+	relayNext uint64
+	// inflight is the size of the one unacknowledged v2 batch (0 when the
+	// relay pipe is idle). The single-batch window keeps the peek/commit
+	// bookkeeping trivial; the ack turnaround, not batching depth, paces
+	// the relay.
+	inflight int
+	// smap is the latest shard-map gossip received (v2), newest epoch wins.
+	smap   ShardMap
+	smapOK bool
 
 	bytesIn  atomic.Uint64
 	bytesOut atomic.Uint64
 	syncs    atomic.Uint64
 	retries  atomic.Uint64
 	stale    atomic.Uint64 // catalogs ignored because an older gen arrived
+	// boStep mirrors the reconnect backoff's current step for Status —
+	// and pins the reset-only-after-complete-sync rule in tests without
+	// racing the run loop.
+	boStep atomic.Int64
 
 	done    chan struct{}
 	wg      sync.WaitGroup
@@ -122,6 +153,15 @@ func NewNode(cfg NodeConfig) *Node {
 
 // Telemetry returns the node's relay buffer (its runtime's emitter).
 func (n *Node) Telemetry() *telemetry.RemoteBuffer { return n.buf }
+
+// ShardMap returns the latest shard-map gossip the node has received,
+// and whether one has arrived at all (v2 sessions against a sharded
+// plane only).
+func (n *Node) ShardMap() (ShardMap, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.smap.Clone(), n.smapOK
+}
 
 // Start launches the connection loop.
 func (n *Node) Start() {
@@ -175,10 +215,10 @@ func (n *Node) Digest() string { return n.Manifest().DigestString() }
 
 // NodeStatus is a point-in-time snapshot of a node.
 type NodeStatus struct {
-	ID        string
-	Connected bool
-	Gen       uint64
-	Digest    string
+	ID         string
+	Connected  bool
+	Gen        uint64
+	Digest     string
 	Views      int
 	Syncs      uint64
 	Retries    uint64
@@ -186,7 +226,13 @@ type NodeStatus struct {
 	BytesIn    uint64
 	BytesOut   uint64
 	Drops      uint64
-	LastErr    string
+	// RetryStep is the backoff's current step: Backoff.Base after a
+	// complete catalog sync committed, grown exponentially otherwise.
+	RetryStep time.Duration
+	// Server identifies the server (shard) the last committed sync came
+	// from (v2 sessions).
+	Server  string
+	LastErr string
 }
 
 // Status snapshots the node.
@@ -194,17 +240,19 @@ func (n *Node) Status() NodeStatus {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	st := NodeStatus{
-		ID:        n.cfg.ID,
-		Connected: n.connected,
-		Gen:       n.last.Gen,
-		Digest:    n.last.DigestString(),
-		Views:     len(n.last.Views),
+		ID:         n.cfg.ID,
+		Connected:  n.connected,
+		Gen:        n.last.Gen,
+		Digest:     n.last.DigestString(),
+		Views:      len(n.last.Views),
 		Syncs:      n.syncs.Load(),
 		Retries:    n.retries.Load(),
 		StaleSkips: n.stale.Load(),
 		BytesIn:    n.bytesIn.Load(),
 		BytesOut:   n.bytesOut.Load(),
 		Drops:      n.buf.Drops(),
+		RetryStep:  time.Duration(n.boStep.Load()),
+		Server:     n.lastServer,
 	}
 	if n.lastErr != nil {
 		st.LastErr = n.lastErr.Error()
@@ -235,9 +283,15 @@ func (n *Node) WaitDigest(digest string, timeout time.Duration) error {
 // run is the reconnect loop: dial, run a session, and on failure retry
 // with exponential backoff plus jitter. The last complete catalog keeps
 // serving throughout outages.
+//
+// The backoff resets only after a session commits a *complete* catalog
+// sync — not after any session that merely dialed. A flapping server
+// that accepts connections and handshakes but never finishes serving a
+// catalog would otherwise be hammered at the base delay forever.
 func (n *Node) run() {
 	defer n.wg.Done()
 	bo := newBackoff(n.cfg.Backoff, n.cfg.ID)
+	n.boStep.Store(int64(bo.next))
 	for {
 		select {
 		case <-n.done:
@@ -246,8 +300,11 @@ func (n *Node) run() {
 		}
 		conn, err := n.cfg.Dial()
 		if err == nil {
+			before := n.syncs.Load()
 			err = n.session(conn)
-			bo.reset()
+			if n.syncs.Load() > before {
+				bo.reset()
+			}
 		}
 		n.mu.Lock()
 		n.connected = false
@@ -263,6 +320,7 @@ func (n *Node) run() {
 		}
 		n.retries.Add(1)
 		d := bo.delay()
+		n.boStep.Store(int64(bo.next))
 		n.logf("fleet: node %q: session ended (%v), retrying in %v", n.cfg.ID, err, d)
 		select {
 		case <-n.done:
@@ -275,12 +333,14 @@ func (n *Node) run() {
 // session is one connected epoch: handshake, initial sync, then serve
 // push notices and relay telemetry until the connection dies.
 type session struct {
-	node    *Node
-	conn    net.Conn
-	writeMu sync.Mutex
-	frames  chan frame
-	readErr error
-	pending bool // an update notice arrived while a round trip was in flight
+	node     *Node
+	conn     net.Conn
+	proto    byte   // negotiated protocol version
+	serverID string // v2: the server's identity from the HelloAck
+	writeMu  sync.Mutex
+	frames   chan frame
+	readErr  error
+	pending  bool // an update notice arrived while a round trip was in flight
 
 	// telScratch is the relay's batch buffer, reused across flushes so the
 	// steady-state peek is allocation-free.
@@ -322,16 +382,22 @@ func (n *Node) session(raw net.Conn) error {
 	if f.typ != msgHelloAck {
 		return errProto("expected hello-ack, got %s", msgName(f.typ))
 	}
-	proto, manifest, err := decodeHelloAck(f.payload)
+	proto, serverID, manifest, err := decodeHelloAck(f.payload)
 	if err != nil {
 		return err
 	}
-	if proto != ProtoVersion {
-		return errProto("server speaks protocol %d (node speaks %d)", proto, ProtoVersion)
+	// The server answers with the negotiated version — at most what we
+	// advertised. A v1 server echoes 1 and the session simply runs the v1
+	// protocol (telemetry committed on write, no shard frames).
+	if proto < ProtoV1 || proto > ProtoVersion {
+		return errProto("server negotiated protocol %d (node speaks %d..%d)", proto, ProtoV1, ProtoVersion)
 	}
+	s.proto = proto
+	s.serverID = serverID
 	n.mu.Lock()
 	n.connected = true
 	n.lastErr = nil
+	n.inflight = 0 // any unacked batch from a prior session is re-sent
 	n.mu.Unlock()
 	n.logf("fleet: node %q: connected (catalog gen %d, %d views)", n.cfg.ID, manifest.Gen, len(manifest.Views))
 
@@ -412,6 +478,14 @@ func (n *Node) session(raw net.Conn) error {
 				if err := s.resync(); err != nil {
 					return err
 				}
+			case msgTelemetryAck:
+				if err := s.handleAck(f.payload); err != nil {
+					return err
+				}
+			case msgShardMap:
+				if err := s.handleShardMap(f.payload); err != nil {
+					return err
+				}
 			case msgError:
 				r := &wireReader{b: f.payload}
 				msg, _ := r.str()
@@ -421,6 +495,62 @@ func (n *Node) session(raw net.Conn) error {
 			}
 		}
 	}
+}
+
+// handleAck commits the relay buffer up to the acknowledged cumulative
+// sequence and reopens the in-flight window — events are durable at the
+// aggregation point, so they may finally leave the node. The immediate
+// re-flush keeps the relay streaming at ack turnaround rate rather than
+// once per FlushInterval.
+func (s *session) handleAck(payload []byte) error {
+	upTo, err := decodeTelemetryAck(payload)
+	if err != nil {
+		return err
+	}
+	n := s.node
+	n.mu.Lock()
+	base := n.relayNext
+	infl := n.inflight
+	n.mu.Unlock()
+	if upTo > base {
+		n.buf.Commit(int(upTo - base))
+	}
+	n.mu.Lock()
+	if upTo > n.relayNext {
+		n.relayNext = upTo
+	}
+	// Reopen the window only when this ack covers the claimed batch. A
+	// stale or duplicate ack must not clear a claim another flush is
+	// still encoding — the claim is also the scratch buffer's lock.
+	if infl > 0 && upTo >= base+uint64(infl) {
+		n.inflight = 0
+	}
+	n.mu.Unlock()
+	s.flushTelemetry()
+	return nil
+}
+
+// handleShardMap records shard-map gossip (newest epoch wins) and
+// forwards it to the configured hook.
+func (s *session) handleShardMap(payload []byte) error {
+	m, err := decodeShardMap(payload)
+	if err != nil {
+		return err
+	}
+	n := s.node
+	n.mu.Lock()
+	if n.smapOK && m.Epoch < n.smap.Epoch {
+		n.mu.Unlock()
+		return nil
+	}
+	n.smap = m
+	n.smapOK = true
+	n.mu.Unlock()
+	n.logf("fleet: node %q: shard map epoch %d (%d shards, aggregator %q)", n.cfg.ID, m.Epoch, len(m.Shards), m.Aggregator)
+	if n.cfg.OnShardMap != nil {
+		n.cfg.OnShardMap(m)
+	}
+	return nil
 }
 
 // write sends one frame under the session's write lock (requests and
@@ -449,6 +579,14 @@ func (s *session) await(want byte) (frame, error) {
 				return f, nil
 			case msgUpdate:
 				s.pending = true
+			case msgTelemetryAck:
+				if err := s.handleAck(f.payload); err != nil {
+					return frame{}, err
+				}
+			case msgShardMap:
+				if err := s.handleShardMap(f.payload); err != nil {
+					return frame{}, err
+				}
 			case msgError:
 				r := &wireReader{b: f.payload}
 				msg, _ := r.str()
@@ -463,10 +601,14 @@ func (s *session) await(want byte) (frame, error) {
 }
 
 func (s *session) flushTelemetry() {
+	if s.proto >= 2 {
+		s.flushTelemetryV2()
+		return
+	}
 	for {
-		// Peek/commit rather than take: events leave the buffer only after
-		// the wire write succeeded, so a session dying mid-flush loses
-		// nothing — the next session re-sends the same batch.
+		// v1 peek/commit: events leave the buffer only after the wire
+		// write succeeded, so a session dying mid-flush loses nothing —
+		// the next session re-sends the same batch.
 		n := s.node.buf.PeekBatchInto(s.telScratch[:])
 		if n == 0 {
 			return
@@ -479,6 +621,42 @@ func (s *session) flushTelemetry() {
 			return
 		}
 		s.node.buf.Commit(n)
+	}
+}
+
+// flushTelemetryV2 ships at most one sequence-numbered batch and leaves
+// it in the buffer until the server's telemetry-ack arrives (handleAck
+// commits and immediately re-flushes). Stretching the v1 write-success
+// commit to an explicit end-to-end ack is what makes the accounting
+// exact through a *shard* death: a shard that dies holding our batch
+// never acked it, so the batch is re-sent — at the same sequence — to
+// the ring successor, and the aggregator dedupes any double delivery.
+func (s *session) flushTelemetryV2() {
+	node := s.node
+	node.mu.Lock()
+	if node.inflight > 0 {
+		node.mu.Unlock()
+		return
+	}
+	// Peek only after winning the claim: telScratch is shared between the
+	// ticker flusher and the ack-path re-flush, and the in-flight window
+	// is what keeps the loser's hands off it while the winner encodes.
+	cnt := node.buf.PeekBatchInto(s.telScratch[:])
+	if cnt == 0 {
+		node.mu.Unlock()
+		return
+	}
+	node.inflight = cnt
+	first := node.relayNext
+	node.mu.Unlock()
+	payload, err := telemetry.EncodeBatch(s.telScratch[:cnt])
+	if err == nil {
+		err = s.write(msgTelemetry, encodeTelemetryV2(first, payload))
+	}
+	if err != nil {
+		node.mu.Lock()
+		node.inflight = 0
+		node.mu.Unlock()
 	}
 }
 
@@ -514,8 +692,15 @@ func (s *session) sync(m Manifest) error {
 	// back to a stale view set would silently shrink or regress its
 	// kernel views. Skipping generations forward (G to G+2) is fine: a
 	// sync carries the complete catalog, not a delta from G+1.
+	//
+	// Generation counters are per-server, so the guard only applies while
+	// talking to the server the committed catalog came from. A re-homed
+	// node (shard failover, v2 serverID differs) adopts the successor's
+	// catalog whatever its counter says; content digests, not generations,
+	// are the cross-shard convergence check.
 	n.mu.Lock()
-	if n.synced && m.Gen < n.last.Gen {
+	sameServer := s.proto < 2 || n.lastServer == s.serverID
+	if n.synced && sameServer && m.Gen < n.last.Gen {
 		have := n.last.Gen
 		n.mu.Unlock()
 		n.stale.Add(1)
@@ -640,6 +825,15 @@ func (s *session) sync(m Manifest) error {
 		}
 	}
 
+	// Mirror hook: a shard member replicating a peer's partition gets the
+	// assembled views before commit — an error aborts the sync with the
+	// previous complete catalog intact.
+	if n.cfg.Apply != nil {
+		if err := n.cfg.Apply(m, views); err != nil {
+			return err
+		}
+	}
+
 	// Commit: the new catalog becomes the node's catalog, and references on
 	// chunks it no longer needs are released.
 	n.mu.Lock()
@@ -651,6 +845,9 @@ func (s *session) sync(m Manifest) error {
 	}
 	n.last = m
 	n.synced = true
+	if s.proto >= 2 {
+		n.lastServer = s.serverID
+	}
 	n.mu.Unlock()
 	n.syncs.Add(1)
 	n.logf("fleet: node %q: synced catalog gen %d (%d views, digest %s)", n.cfg.ID, m.Gen, len(m.Views), m.DigestString())

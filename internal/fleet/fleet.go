@@ -41,9 +41,17 @@ import (
 	"time"
 )
 
-// ProtoVersion is the wire protocol version. The Hello/HelloAck handshake
-// carries it; a mismatch fails the session before any catalog bytes move.
-const ProtoVersion = 1
+// ProtoVersion is the highest wire protocol version this build speaks.
+// The Hello carries the client's version; the server answers HelloAck
+// with the negotiated session version, min(client, server), so v1 nodes
+// keep working against v2 servers unchanged (they never see a v2-only
+// frame). v2 adds shard-map gossip, sequence-numbered telemetry with
+// deferred acknowledgement, and shard→aggregator relay.
+const ProtoVersion = 2
+
+// ProtoV1 is the original protocol: unsequenced telemetry (commit on
+// write), no shard frames. Still fully served.
+const ProtoV1 = 1
 
 // BackoffConfig shapes a node's reconnect schedule: exponential from Base
 // to Max with uniform jitter in [0, step) added to each delay, so a fleet

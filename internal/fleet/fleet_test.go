@@ -538,14 +538,18 @@ func TestFleetSoak(t *testing.T) {
 	}
 }
 
-// TestServerRejectsProtocolMismatch covers the version gate.
+// TestServerRejectsProtocolMismatch covers the version gate: a client
+// below the protocol floor is rejected; a client advertising a *future*
+// version is negotiated down to the server's version, not rejected —
+// that is what lets v2 nodes roll out against v1 servers and vice versa.
 func TestServerRejectsProtocolMismatch(t *testing.T) {
 	srv := NewServer(ServerConfig{})
+
 	c, s := net.Pipe()
 	done := make(chan struct{})
 	go func() { srv.ServeConn(s); close(done) }()
 	bad := encodeHello("old-node")
-	bad[0] = ProtoVersion + 1
+	bad[0] = 0 // below the v1 floor
 	if err := writeFrame(c, msgHello, bad); err != nil {
 		t.Fatal(err)
 	}
@@ -558,4 +562,127 @@ func TestServerRejectsProtocolMismatch(t *testing.T) {
 	}
 	<-done
 	c.Close()
+
+	c, s = net.Pipe()
+	done = make(chan struct{})
+	go func() { srv.ServeConn(s); close(done) }()
+	future := encodeHello("new-node")
+	future[0] = ProtoVersion + 1
+	if err := writeFrame(c, msgHello, future); err != nil {
+		t.Fatal(err)
+	}
+	f, err = readFrame(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.typ != msgHelloAck {
+		t.Fatalf("got %s, want hello-ack", msgName(f.typ))
+	}
+	proto, _, _, err := decodeHelloAck(f.payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proto != ProtoVersion {
+		t.Fatalf("negotiated protocol %d, want %d", proto, ProtoVersion)
+	}
+	c.Close()
+	<-done
+}
+
+// TestBackoffResetsOnlyAfterCompleteSync pins the reconnect policy: a
+// flapping server that accepts connections and completes the handshake —
+// but never finishes serving the catalog — must not reset the backoff, so
+// the retry step climbs all the way to Backoff.Max. Only a session that
+// commits a complete catalog sync restarts the schedule at Base.
+func TestBackoffResetsOnlyAfterCompleteSync(t *testing.T) {
+	srv := NewServer(ServerConfig{ID: "real"})
+	if err := srv.Publish(testView("apache", 1500, 0)); err != nil {
+		t.Fatal(err)
+	}
+	man := srv.Catalog().Manifest()
+
+	const base = time.Millisecond
+	const max = 32 * time.Millisecond
+
+	// Dial script, three phases: 0 = flap (handshake with a non-empty
+	// manifest, then hang up before any chunk is served, so the sync can
+	// never commit), 1 = one clean connection to the real server,
+	// 2 = block until the test tears down (freezes the retry step).
+	var mode atomic.Int32
+	gate := make(chan struct{})
+	var connMu sync.Mutex
+	var goodConn net.Conn
+	good := pipeDialer(srv, nil)
+	dial := func() (net.Conn, error) {
+		switch mode.Load() {
+		case 0:
+			c, s := net.Pipe()
+			go func() {
+				defer s.Close()
+				if _, err := readFrame(s); err != nil {
+					return
+				}
+				writeFrame(s, msgHelloAck, encodeHelloAck(ProtoVersion, "flappy", man))
+			}()
+			return c, nil
+		case 1:
+			c, err := good()
+			if err != nil {
+				return nil, err
+			}
+			connMu.Lock()
+			goodConn = c
+			connMu.Unlock()
+			mode.Store(2)
+			return c, nil
+		default:
+			<-gate
+			return nil, fmt.Errorf("dialer closed")
+		}
+	}
+
+	n := NewNode(NodeConfig{
+		ID:            "victim",
+		Dial:          dial,
+		Backoff:       BackoffConfig{Base: base, Max: max},
+		FlushInterval: 2 * time.Millisecond,
+		ReadTimeout:   2 * time.Second,
+	})
+	n.Start()
+	defer n.Close()
+	defer close(gate)
+
+	// Phase 0: every session dials and handshakes fine, yet the step must
+	// still grow exponentially to Max — dialing is not syncing.
+	waitStep := func(want time.Duration) {
+		t.Helper()
+		deadline := time.Now().Add(waitFor)
+		for {
+			if st := n.Status(); st.RetryStep == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				st := n.Status()
+				t.Fatalf("retry step %v (retries=%d syncs=%d), want %v", st.RetryStep, st.Retries, st.Syncs, want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitStep(max)
+	if got := n.Status().Syncs; got != 0 {
+		t.Fatalf("flapping server let %d syncs commit, want 0", got)
+	}
+
+	// Phase 1: a real server serves the full catalog; the sync commits.
+	mode.Store(1)
+	if err := n.WaitDigest(man.DigestString(), waitFor); err != nil {
+		t.Fatal(err)
+	}
+
+	// End the clean session: the commit resets the schedule, so the very
+	// next step is 2*Base (one doubling past Base), not Max.
+	connMu.Lock()
+	goodConn.Close()
+	connMu.Unlock()
+	waitStep(2 * base)
 }

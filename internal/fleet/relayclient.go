@@ -1,0 +1,94 @@
+package fleet
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"facechange/internal/telemetry"
+)
+
+// RelayClient is the sending half of hub-to-hub telemetry relay: a shard
+// member dials the aggregator shard with it and forwards node batches as
+// relay frames, origin identity and sequence preserved.
+//
+// Send returning nil means the frame was written, not that the
+// aggregator processed it — the relay commits on write success. That is
+// exact for in-process planes (net.Pipe hands the frame to the peer's
+// read loop synchronously) and safe everywhere else because batches are
+// sequence-numbered: a batch lost between write and processing surfaces
+// as a sequence gap at the aggregator (counted, never silently absorbed),
+// and a batch re-sent after a reconnect is deduplicated there. The
+// tested zero-loss guarantee is for *leaf shard* death, where the node's
+// unacknowledged batch is re-sent to the ring successor.
+type RelayClient struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+}
+
+// DialRelay establishes a relay session: dial, handshake as a v2 peer,
+// and start a goroutine that drains the aggregator's pushes (catalog
+// notices, shard maps) so they never block it. id names the relaying
+// shard in the aggregator's session log.
+func DialRelay(id string, dial func() (net.Conn, error)) (*RelayClient, error) {
+	conn, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, msgHello, encodeHello(id)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := readFrame(conn)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if f.typ == msgError {
+		r := &wireReader{b: f.payload}
+		msg, _ := r.str()
+		conn.Close()
+		return nil, errProto("relay peer rejected session: %s", msg)
+	}
+	if f.typ != msgHelloAck {
+		conn.Close()
+		return nil, errProto("expected hello-ack, got %s", msgName(f.typ))
+	}
+	proto, _, _, err := decodeHelloAck(f.payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if proto < 2 {
+		conn.Close()
+		return nil, errProto("relay peer negotiated protocol %d (relay needs 2+)", proto)
+	}
+	c := &RelayClient{conn: conn}
+	go c.drain()
+	return c, nil
+}
+
+// drain discards server pushes until the connection dies.
+func (c *RelayClient) drain() {
+	for {
+		if _, err := readFrame(c.conn); err != nil {
+			return
+		}
+	}
+}
+
+// Send forwards one node batch.
+func (c *RelayClient) Send(node string, first uint64, evs []telemetry.Event) error {
+	payload, err := telemetry.EncodeBatch(evs)
+	if err != nil {
+		return err
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return writeFrame(c.conn, msgRelay, encodeRelay(node, first, payload))
+}
+
+// Close ends the session.
+func (c *RelayClient) Close() error { return c.conn.Close() }

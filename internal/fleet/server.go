@@ -10,13 +10,34 @@ import (
 	"facechange/internal/telemetry"
 )
 
+// RelayFunc forwards one node telemetry batch toward the fleet's
+// aggregator shard. first is the node's cumulative relay sequence of the
+// batch's first event; ack must be called once the batch is durably
+// relayed — it sends the deferred telemetry acknowledgement that lets
+// the node commit its buffer. Only protocol-v2 sessions are relayed (v1
+// batches carry no sequence and land in the local hub only).
+type RelayFunc func(nodeID string, first uint64, evs []telemetry.Event, ack func())
+
 // ServerConfig parameterizes a control-plane server.
 type ServerConfig struct {
+	// ID identifies this server to v2 clients (the HelloAck carries it so
+	// a re-homing node can tell shards apart). Default "server".
+	ID string
 	// Catalog is the canonical view catalog (a fresh one when nil).
 	Catalog *Catalog
 	// Hub, when non-nil, receives every node's relayed telemetry stream,
-	// stamped with the node's identity — the fleet-wide event pipeline.
+	// stamped with the node's identity — the fleet-wide event pipeline
+	// (or, on a shard member, the shard-local one).
 	Hub *telemetry.Hub
+	// ShardMap, when non-nil, marks this server as part of a sharded
+	// plane: the current map is pushed to every v2 session right after
+	// the handshake, and again via PushShardMap whenever it changes.
+	ShardMap func() ShardMap
+	// Relay, when non-nil, forwards v2 node batches toward the aggregator
+	// shard and owns the deferred acknowledgement. When nil, batches are
+	// final here (this server *is* the aggregation point, or a standalone
+	// plane) and are acked as soon as the hub has them.
+	Relay RelayFunc
 	// Logf, when non-nil, receives connection lifecycle lines.
 	Logf func(format string, args ...any)
 }
@@ -25,9 +46,17 @@ type ServerConfig struct {
 // protocol to any number of nodes, pushes generation notices on publish,
 // and fans node telemetry into the central hub.
 type Server struct {
-	catalog *Catalog
-	hub     *telemetry.Hub
-	logf    func(string, ...any)
+	id       string
+	catalog  *Catalog
+	hub      *telemetry.Hub
+	shardMap func() ShardMap
+	relay    RelayFunc
+	logf     func(string, ...any)
+
+	// seqs dedupes per-node telemetry across sessions and relay paths: a
+	// node re-sending an unacknowledged batch after a shard death must
+	// not be double-counted at the aggregation point.
+	seqs *telemetry.SeqTracker
 
 	mu    sync.Mutex
 	conns map[*serverConn]struct{}
@@ -38,10 +67,15 @@ type Server struct {
 	eventsRelayed atomic.Uint64
 	batches       atomic.Uint64
 	sessions      atomic.Uint64
+	relayBatches  atomic.Uint64
+	v1Sessions    atomic.Uint64
 }
 
 // NewServer creates a server.
 func NewServer(cfg ServerConfig) *Server {
+	if cfg.ID == "" {
+		cfg.ID = "server"
+	}
 	if cfg.Catalog == nil {
 		cfg.Catalog = NewCatalog()
 	}
@@ -49,12 +83,19 @@ func NewServer(cfg ServerConfig) *Server {
 		cfg.Logf = func(string, ...any) {}
 	}
 	return &Server{
-		catalog: cfg.Catalog,
-		hub:     cfg.Hub,
-		logf:    cfg.Logf,
-		conns:   make(map[*serverConn]struct{}),
+		id:       cfg.ID,
+		catalog:  cfg.Catalog,
+		hub:      cfg.Hub,
+		shardMap: cfg.ShardMap,
+		relay:    cfg.Relay,
+		logf:     cfg.Logf,
+		seqs:     telemetry.NewSeqTracker(),
+		conns:    make(map[*serverConn]struct{}),
 	}
 }
+
+// ID returns the server's identity as carried in v2 HelloAcks.
+func (s *Server) ID() string { return s.id }
 
 // Catalog returns the server's catalog.
 func (s *Server) Catalog() *Catalog { return s.catalog }
@@ -87,6 +128,29 @@ func (s *Server) notifyAll(gen uint64) {
 	defer s.mu.Unlock()
 	for c := range s.conns {
 		c.notify(gen)
+	}
+}
+
+// PushShardMap pushes the current shard map to every connected v2
+// session (a no-op without a ShardMap provider). Call after the plane's
+// topology changes — a shard death, a new shard joining.
+func (s *Server) PushShardMap() {
+	if s.shardMap == nil {
+		return
+	}
+	payload := encodeShardMap(s.shardMap())
+	s.mu.Lock()
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		if c.proto >= 2 {
+			conns = append(conns, c)
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		// A failed write means the session is dying anyway; its read loop
+		// surfaces the error.
+		_ = c.write(msgShardMap, payload)
 	}
 }
 
@@ -129,6 +193,30 @@ func (s *Server) ServeConn(conn net.Conn) {
 	s.mu.Unlock()
 	s.logf("fleet: server: node %q joined", c.nodeID)
 
+	// Close the missed-update window: a Publish that landed between the
+	// HelloAck's manifest snapshot and the registration above notified
+	// only the conns registered at the time — not this one. If the
+	// catalog moved past what the handshake sent, the node must hear
+	// about it or it will idle on the stale manifest until the next
+	// publish (which may never come).
+	if gen := s.catalog.Gen(); gen > c.ackGen {
+		c.notify(gen)
+	}
+
+	// Topology gossip: any single live seed teaches a v2 node the plane.
+	// Pushed only after the conn is registered, so a concurrent
+	// PushShardMap (a shard death racing this handshake) can never fall
+	// between the two and leave the node with a stale epoch — it either
+	// lands here or in the broadcast, and the client keeps the newest.
+	if c.proto >= 2 && s.shardMap != nil {
+		if err := c.write(msgShardMap, encodeShardMap(s.shardMap())); err != nil {
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+			return
+		}
+	}
+
 	// The pusher forwards publish notices; it owns no state and exits when
 	// the updates channel closes after the read loop ends.
 	var pushers sync.WaitGroup
@@ -164,6 +252,10 @@ func (s *Server) WriteMetrics(w *telemetry.Writer) {
 	w.Counter("facechange_fleet_chunk_bytes_total", "chunk payload bytes served", float64(s.chunkBytes.Load()))
 	w.Counter("facechange_fleet_telemetry_batches_total", "node telemetry batches relayed", float64(s.batches.Load()))
 	w.Counter("facechange_fleet_telemetry_events_total", "node telemetry events relayed into the hub", float64(s.eventsRelayed.Load()))
+	w.Counter("facechange_fleet_relay_batches_total", "shard-to-shard relay batches accepted", float64(s.relayBatches.Load()))
+	w.Counter("facechange_fleet_telemetry_dup_events_total", "re-sent telemetry events deduplicated", float64(s.seqs.Dups()))
+	w.Counter("facechange_fleet_telemetry_gap_events_total", "telemetry sequence holes (events lost upstream)", float64(s.seqs.Gaps()))
+	w.Counter("facechange_fleet_v1_sessions_total", "sessions negotiated down to protocol v1", float64(s.v1Sessions.Load()))
 }
 
 // serverConn is one node session.
@@ -171,6 +263,8 @@ type serverConn struct {
 	srv    *Server
 	conn   net.Conn
 	nodeID string
+	proto  byte   // negotiated session version
+	ackGen uint64 // catalog generation snapshotted into the HelloAck
 
 	writeMu sync.Mutex
 	updates chan uint64
@@ -200,8 +294,10 @@ func (c *serverConn) notify(gen uint64) {
 	}
 }
 
-// handshake expects Hello and answers HelloAck carrying the full manifest
-// (saving the common case a round trip).
+// handshake expects Hello and answers HelloAck carrying the negotiated
+// version and the full manifest (saving the common case a round trip).
+// The session runs at min(client, server) version: a v1 node gets a
+// byte-identical v1 session; only versions below v1 are rejected.
 func (c *serverConn) handshake() error {
 	f, err := readFrame(c.conn)
 	if err != nil {
@@ -214,12 +310,71 @@ func (c *serverConn) handshake() error {
 	if err != nil {
 		return err
 	}
-	if proto != ProtoVersion {
-		_ = c.write(msgError, appendStr(nil, errProto("protocol version %d unsupported (server speaks %d)", proto, ProtoVersion).Error()))
+	if proto < ProtoV1 {
+		_ = c.write(msgError, appendStr(nil, errProto("protocol version %d unsupported (server speaks %d..%d)", proto, ProtoV1, ProtoVersion).Error()))
 		return errProto("node %q speaks protocol %d", nodeID, proto)
 	}
+	c.proto = proto
+	if c.proto > ProtoVersion {
+		c.proto = ProtoVersion
+	}
+	if c.proto == ProtoV1 {
+		c.srv.v1Sessions.Add(1)
+	}
 	c.nodeID = nodeID
-	return c.write(msgHelloAck, encodeHelloAck(c.srv.catalog.Manifest()))
+	m := c.srv.catalog.Manifest()
+	c.ackGen = m.Gen
+	return c.write(msgHelloAck, encodeHelloAck(c.proto, c.srv.id, m))
+}
+
+// handleTelemetryV2 processes one sequence-numbered node batch. The
+// acknowledgement that lets the node commit is deferred until the batch
+// is durable at its final hop: immediately when this server is the
+// aggregation point (no Relay configured), or once the relay has
+// committed the batch upstream.
+func (c *serverConn) handleTelemetryV2(payload []byte) error {
+	first, batch, err := decodeTelemetryV2(payload)
+	if err != nil {
+		return err
+	}
+	evs, err := telemetry.DecodeBatch(batch)
+	if err != nil {
+		return err
+	}
+	c.srv.batches.Add(1)
+	upTo := first + uint64(len(evs))
+	ack := func() { _ = c.write(msgTelemetryAck, encodeTelemetryAck(upTo)) }
+	if c.srv.relay != nil {
+		// Shard-local flow first (the local hub is an observability tee;
+		// the lossless stream is the relay), then hand off. The relay owns
+		// the ack. Local replay dedupes independently so a re-sent batch
+		// is not double-counted in shard metrics either.
+		if c.srv.hub != nil {
+			if skip := c.srv.seqs.Admit(c.nodeID, first, len(evs)); skip < len(evs) {
+				c.srv.eventsRelayed.Add(uint64(len(evs) - skip))
+				telemetry.ReplayInto(c.srv.hub, c.nodeID, evs[skip:])
+			}
+		}
+		c.srv.relay(c.nodeID, first, evs, ack)
+		return nil
+	}
+	c.acceptBatch(c.nodeID, first, evs)
+	ack()
+	return nil
+}
+
+// acceptBatch is the aggregation point's intake: dedupe against the
+// node's cumulative sequence, count, and replay the fresh suffix into
+// the hub stamped with the origin node's identity.
+func (c *serverConn) acceptBatch(node string, first uint64, evs []telemetry.Event) {
+	skip := c.srv.seqs.Admit(node, first, len(evs))
+	if skip >= len(evs) {
+		return
+	}
+	c.srv.eventsRelayed.Add(uint64(len(evs) - skip))
+	if c.srv.hub != nil {
+		telemetry.ReplayInto(c.srv.hub, node, evs[skip:])
+	}
 }
 
 // readLoop serves requests until the connection errors or closes.
@@ -254,6 +409,15 @@ func (c *serverConn) readLoop() error {
 				return err
 			}
 		case msgTelemetry:
+			if c.proto >= 2 {
+				if err := c.handleTelemetryV2(f.payload); err != nil {
+					return err
+				}
+				continue
+			}
+			// v1: bare JSON batch, committed by the node on write — final
+			// here, replayed into the local hub, never relayed onward
+			// (there is no sequence to dedupe a re-send with).
 			evs, err := telemetry.DecodeBatch(f.payload)
 			if err != nil {
 				return err
@@ -263,6 +427,19 @@ func (c *serverConn) readLoop() error {
 			if c.srv.hub != nil {
 				telemetry.ReplayInto(c.srv.hub, c.nodeID, evs)
 			}
+		case msgRelay:
+			// Shard→aggregator forwarding: a peer shard relays one of its
+			// nodes' batches, origin identity and sequence preserved.
+			node, first, batch, err := decodeRelay(f.payload)
+			if err != nil {
+				return err
+			}
+			evs, err := telemetry.DecodeBatch(batch)
+			if err != nil {
+				return err
+			}
+			c.srv.relayBatches.Add(1)
+			c.acceptBatch(node, first, evs)
 		default:
 			return errProto("unexpected %s from node %q", msgName(f.typ), c.nodeID)
 		}

@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"facechange/internal/fleet"
+)
+
+func testMap(ids ...string) fleet.ShardMap {
+	m := fleet.ShardMap{Epoch: 1, Aggregator: ids[0]}
+	for _, id := range ids {
+		m.Shards = append(m.Shards, fleet.ShardInfo{ID: id})
+	}
+	return m
+}
+
+// TestRingDeterministic pins that two builders of the same map lay out
+// identical rings — gossip receivers must all route the same way.
+func TestRingDeterministic(t *testing.T) {
+	a := BuildRing(testMap("s-a", "s-b", "s-c"))
+	b := BuildRing(testMap("s-c", "s-a", "s-b")) // order must not matter
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("node-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingDistribution checks the virtual nodes spread keys roughly
+// evenly: with 3 shards no shard owns less than 15%% or more than 55%%
+// of 10k keys.
+func TestRingDistribution(t *testing.T) {
+	r := BuildRing(testMap("s-a", "s-b", "s-c"))
+	counts := make(map[string]int)
+	const total = 10000
+	for i := 0; i < total; i++ {
+		counts[r.Owner(fmt.Sprintf("node-%d", i))]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("keys landed on %d shards, want 3: %v", len(counts), counts)
+	}
+	for id, c := range counts {
+		frac := float64(c) / total
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("shard %q owns %.1f%% of keys (want 15%%..55%%): %v", id, frac*100, counts)
+		}
+	}
+}
+
+// TestRingWalk checks the failover candidate order: starts at the owner,
+// visits every shard exactly once.
+func TestRingWalk(t *testing.T) {
+	r := BuildRing(testMap("s-a", "s-b", "s-c"))
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("node-%d", i)
+		walk := r.Walk(key)
+		if len(walk) != 3 {
+			t.Fatalf("key %q: walk %v, want 3 distinct shards", key, walk)
+		}
+		if walk[0] != r.Owner(key) {
+			t.Fatalf("key %q: walk starts at %q, owner is %q", key, walk[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, id := range walk {
+			if seen[id] {
+				t.Fatalf("key %q: walk repeats %q: %v", key, id, walk)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestRingMinimalMovement pins the consistent-hashing property: removing
+// one shard re-homes only the keys it owned; every other key keeps its
+// owner. This is what bounds a shard death to re-syncing 1/N of the
+// fleet.
+func TestRingMinimalMovement(t *testing.T) {
+	full := BuildRing(testMap("s-a", "s-b", "s-c"))
+	reduced := BuildRing(testMap("s-a", "s-c"))
+	moved := 0
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("node-%d", i)
+		was, now := full.Owner(key), reduced.Owner(key)
+		if was == "s-b" {
+			if now == "s-b" {
+				t.Fatalf("key %q still owned by removed shard", key)
+			}
+			moved++
+			continue
+		}
+		if was != now {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", key, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the removed shard (distribution broken)")
+	}
+}
+
+// TestRingOwnerDigest checks digest routing agrees with key routing when
+// fed the same hash positioning.
+func TestRingOwnerDigest(t *testing.T) {
+	r := BuildRing(testMap("s-a", "s-b", "s-c"))
+	counts := make(map[string]int)
+	for i := 0; i < 1000; i++ {
+		d := sha256.Sum256([]byte(fmt.Sprintf("view-%d", i)))
+		owner := r.OwnerDigest(d)
+		if _, ok := map[string]bool{"s-a": true, "s-b": true, "s-c": true}[owner]; !ok {
+			t.Fatalf("digest owner %q not a shard", owner)
+		}
+		counts[owner]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("digests landed on %d shards, want 3: %v", len(counts), counts)
+	}
+}

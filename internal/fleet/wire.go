@@ -23,16 +23,26 @@ const maxFrame = 16 << 20
 // Message types. Client→server: hello, getCatalog, want, telemetry.
 // Server→client: helloAck, catalog (response and hot-push), chunks,
 // update (generation notice), errorMsg (terminal).
+//
+// Protocol v2 adds: shardMap (server→client topology gossip, pushed
+// after the handshake and on change), telemetryAck (server→client
+// cumulative acknowledgement of relayed telemetry, making the node's
+// peek/commit span the whole shard→aggregator path), and relay
+// (shard→aggregator forwarding of a node batch, origin identity and
+// sequence preserved). v1 sessions never see any of the three.
 const (
-	msgHello      = 0x01
-	msgHelloAck   = 0x02
-	msgGetCatalog = 0x03
-	msgCatalog    = 0x04
-	msgWant       = 0x05
-	msgChunks     = 0x06
-	msgTelemetry  = 0x07
-	msgUpdate     = 0x08
-	msgError      = 0x3f
+	msgHello        = 0x01
+	msgHelloAck     = 0x02
+	msgGetCatalog   = 0x03
+	msgCatalog      = 0x04
+	msgWant         = 0x05
+	msgChunks       = 0x06
+	msgTelemetry    = 0x07
+	msgUpdate       = 0x08
+	msgShardMap     = 0x09
+	msgTelemetryAck = 0x0a
+	msgRelay        = 0x0b
+	msgError        = 0x3f
 )
 
 func msgName(t byte) string {
@@ -53,6 +63,12 @@ func msgName(t byte) string {
 		return "telemetry"
 	case msgUpdate:
 		return "update"
+	case msgShardMap:
+		return "shard-map"
+	case msgTelemetryAck:
+		return "telemetry-ack"
+	case msgRelay:
+		return "relay"
 	case msgError:
 		return "error"
 	}
@@ -110,6 +126,9 @@ func appendStr(b []byte, s string) []byte {
 	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
 	return append(b, s...)
 }
+
+func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
 
 type wireReader struct{ b []byte }
 
@@ -205,17 +224,35 @@ func decodeHello(p []byte) (proto byte, nodeID string, err error) {
 	return p[0], id, nil
 }
 
-// helloAckPayload: u8 proto | manifest.
-func encodeHelloAck(m Manifest) []byte {
-	return append([]byte{ProtoVersion}, encodeManifest(m)...)
+// helloAckPayload: u8 proto | manifest (v1) or u8 proto | str serverID |
+// manifest (v2+). The first byte is the *negotiated* session version —
+// min(client, server) — so a v1 client talking to a v2 server reads
+// exactly the v1 encoding it has always read. The v2 server identity
+// lets a re-homing node notice it reached a different shard and skip the
+// stale-generation guard for the first sync (generation counters are
+// per-server; the catalog content digest, not the generation, is the
+// cross-shard convergence check).
+func encodeHelloAck(proto byte, serverID string, m Manifest) []byte {
+	b := []byte{proto}
+	if proto >= 2 {
+		b = appendStr(b, serverID)
+	}
+	return append(b, encodeManifest(m)...)
 }
 
-func decodeHelloAck(p []byte) (proto byte, m Manifest, err error) {
+func decodeHelloAck(p []byte) (proto byte, serverID string, m Manifest, err error) {
 	if len(p) < 1 {
-		return 0, Manifest{}, errProto("empty hello-ack")
+		return 0, "", Manifest{}, errProto("empty hello-ack")
 	}
-	m, err = decodeManifest(p[1:])
-	return p[0], m, err
+	proto = p[0]
+	r := &wireReader{b: p[1:]}
+	if proto >= 2 {
+		if serverID, err = r.str(); err != nil {
+			return 0, "", Manifest{}, err
+		}
+	}
+	m, err = decodeManifest(r.b)
+	return proto, serverID, m, err
 }
 
 // wantPayload: u32 n | n × hash.
@@ -304,4 +341,58 @@ func decodeUpdate(p []byte) (uint64, error) {
 		return 0, err
 	}
 	return gen, r.end()
+}
+
+// telemetryV2Payload: u64 first | JSON batch. first is the node's
+// cumulative relay sequence of the batch's first event; the v1 payload
+// is the bare JSON batch (no prefix) and stays that way on v1 sessions.
+func encodeTelemetryV2(first uint64, batch []byte) []byte {
+	b := make([]byte, 0, 8+len(batch))
+	b = appendU64(b, first)
+	return append(b, batch...)
+}
+
+func decodeTelemetryV2(p []byte) (first uint64, batch []byte, err error) {
+	r := &wireReader{b: p}
+	if first, err = r.u64(); err != nil {
+		return 0, nil, err
+	}
+	return first, r.b, nil
+}
+
+// telemetryAckPayload: u64 upTo — the node's cumulative relay sequence
+// acknowledged as durable at the aggregation point. The node commits its
+// relay buffer up to this mark.
+func encodeTelemetryAck(upTo uint64) []byte {
+	return appendU64(nil, upTo)
+}
+
+func decodeTelemetryAck(p []byte) (uint64, error) {
+	r := &wireReader{b: p}
+	upTo, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	return upTo, r.end()
+}
+
+// relayPayload: str node | u64 first | JSON batch — one node batch
+// forwarded shard→aggregator with its origin identity and sequence
+// intact, so the aggregator can dedupe re-sends after a shard death.
+func encodeRelay(node string, first uint64, batch []byte) []byte {
+	b := make([]byte, 0, 2+len(node)+8+len(batch))
+	b = appendStr(b, node)
+	b = appendU64(b, first)
+	return append(b, batch...)
+}
+
+func decodeRelay(p []byte) (node string, first uint64, batch []byte, err error) {
+	r := &wireReader{b: p}
+	if node, err = r.str(); err != nil {
+		return "", 0, nil, err
+	}
+	if first, err = r.u64(); err != nil {
+		return "", 0, nil, err
+	}
+	return node, first, r.b, nil
 }

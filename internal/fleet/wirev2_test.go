@@ -1,0 +1,249 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/hex"
+	"net"
+	"testing"
+	"time"
+
+	"facechange/internal/telemetry"
+)
+
+// TestWireV2GoldenPins pins the exact bytes of every protocol-v2 frame
+// payload. These encodings are spoken between servers of different
+// builds (shard relays, rolling upgrades), so any drift — field order, a
+// widened integer, a reordered shard list — is a wire break, not a
+// refactor. Change these constants only with a protocol version bump.
+func TestWireV2GoldenPins(t *testing.T) {
+	golden := func(name string, got []byte, wantHex string) {
+		t.Helper()
+		want, err := hex.DecodeString(wantHex)
+		if err != nil {
+			t.Fatalf("%s: bad golden: %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s wire drift:\ngot:  %x\nwant: %x", name, got, want)
+		}
+	}
+
+	// Shard map: epoch 7, aggregator s-a, two shards handed to the encoder
+	// in the WRONG order — the canonical encoding sorts by ID.
+	sm := ShardMap{Epoch: 7, Aggregator: "s-a", Shards: []ShardInfo{
+		{ID: "s-b", Addr: "10.0.0.2:4410", VNodes: 16},
+		{ID: "s-a", Addr: "10.0.0.1:4410", VNodes: 0},
+	}}
+	golden("shardmap", encodeShardMap(sm),
+		"00000000000000070003732d6100020003732d61000d31302e302e302e313a3434313000000003732d62000d31302e302e302e323a343431300010")
+	back, err := decodeShardMap(encodeShardMap(sm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Epoch != 7 || back.Aggregator != "s-a" || len(back.Shards) != 2 ||
+		back.Shards[0].ID != "s-a" || back.Shards[1].VNodes != 16 {
+		t.Fatalf("shard map mangled: %+v", back)
+	}
+
+	golden("relay", encodeRelay("node-1", 0x1122334455667788, []byte(`[]`)),
+		"00066e6f64652d3111223344556677885b5d")
+	node, first, batch, err := decodeRelay(encodeRelay("node-1", 0x1122334455667788, []byte(`[]`)))
+	if err != nil || node != "node-1" || first != 0x1122334455667788 || string(batch) != "[]" {
+		t.Fatalf("relay mangled: %q %d %q %v", node, first, batch, err)
+	}
+
+	golden("telemetry-v2", encodeTelemetryV2(9, []byte(`[]`)), "00000000000000095b5d")
+	golden("telemetry-ack", encodeTelemetryAck(13), "000000000000000d")
+
+	// HelloAck, both session versions for the same manifest. The v1 form
+	// is the v2 form minus the server identity — a v1 node reads exactly
+	// the bytes it has always read.
+	m := Manifest{Gen: 3, Views: []ViewManifest{{Name: "a", Digest: Hash{0xAA}, Size: 4, Chunks: []Hash{{0xBB}}}}}
+	golden("hello-ack-v1", encodeHelloAck(ProtoV1, "srv", m),
+		"01000000000000000300000001000161aa00000000000000000000000000000000000000000000000000000000000000000000000000000400000001bb00000000000000000000000000000000000000000000000000000000000000")
+	golden("hello-ack-v2", encodeHelloAck(ProtoVersion, "srv", m),
+		"020003737276000000000000000300000001000161aa00000000000000000000000000000000000000000000000000000000000000000000000000000400000001bb00000000000000000000000000000000000000000000000000000000000000")
+
+	// Malformed frames must be rejected, not misparsed.
+	if _, err := decodeShardMap(encodeShardMap(sm)[:10]); err == nil {
+		t.Error("truncated shard map accepted")
+	}
+	unsorted := ShardMap{Shards: []ShardInfo{{ID: "s-a"}, {ID: "s-b"}}}
+	raw := encodeShardMap(unsorted)
+	// Swap the two (identically-sized) shard records in place.
+	rec := len(raw[10:]) / 2
+	swapped := append([]byte(nil), raw[:10]...)
+	swapped = append(swapped, raw[10+rec:]...)
+	swapped = append(swapped, raw[10:10+rec]...)
+	if _, err := decodeShardMap(swapped); err == nil {
+		t.Error("unsorted shard map accepted")
+	}
+	if _, err := decodeTelemetryAck([]byte{1, 2}); err == nil {
+		t.Error("short telemetry ack accepted")
+	}
+	if _, err := decodeTelemetryAck(append(encodeTelemetryAck(1), 0)); err == nil {
+		t.Error("telemetry ack with trailing bytes accepted")
+	}
+}
+
+// FuzzShardMapWire fuzzes the gossip codec: arbitrary bytes must never
+// panic the decoder, and any accepted payload must re-encode to the
+// identical canonical bytes (one topology, one encoding — shard maps are
+// compared and forwarded verbatim between servers).
+func FuzzShardMapWire(f *testing.F) {
+	f.Add(encodeShardMap(ShardMap{}))
+	f.Add(encodeShardMap(ShardMap{Epoch: 9, Aggregator: "agg", Shards: []ShardInfo{
+		{ID: "a", Addr: "x:1", VNodes: 3}, {ID: "b"}, {ID: "c", VNodes: 64},
+	}}))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeShardMap(data)
+		if err != nil {
+			return
+		}
+		out := encodeShardMap(m)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("accepted non-canonical shard map:\nin:  %x\nout: %x", data, out)
+		}
+	})
+}
+
+// FuzzRelayWire fuzzes the three v2 telemetry payloads — relay,
+// sequenced batch, and ack — through the same decode/re-encode canonical
+// round-trip.
+func FuzzRelayWire(f *testing.F) {
+	f.Add(encodeRelay("node-1", 42, []byte(`[{"k":1}]`)))
+	f.Add(encodeTelemetryV2(0, nil))
+	f.Add(encodeTelemetryAck(1 << 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if node, first, batch, err := decodeRelay(data); err == nil {
+			if out := encodeRelay(node, first, batch); !bytes.Equal(out, data) {
+				t.Fatalf("relay not canonical:\nin:  %x\nout: %x", data, out)
+			}
+		}
+		if first, batch, err := decodeTelemetryV2(data); err == nil {
+			if out := encodeTelemetryV2(first, batch); !bytes.Equal(out, data) {
+				t.Fatalf("telemetry-v2 not canonical:\nin:  %x\nout: %x", data, out)
+			}
+		}
+		if upTo, err := decodeTelemetryAck(data); err == nil {
+			if out := encodeTelemetryAck(upTo); !bytes.Equal(out, data) {
+				t.Fatalf("telemetry-ack not canonical:\nin:  %x\nout: %x", data, out)
+			}
+		}
+	})
+}
+
+// TestV1ClientAgainstV2Server speaks protocol v1 by hand against a fully
+// v2-featured server (shard map provider, telemetry hub) and pins the
+// backward-compatibility contract: the session negotiates down to v1,
+// the HelloAck payload is the v1 shape (no server identity), the server
+// never pushes shard-map or telemetry-ack frames, and a bare-JSON v1
+// telemetry batch is accepted into the hub.
+func TestV1ClientAgainstV2Server(t *testing.T) {
+	sink := &nodeCountSink{}
+	hub := telemetry.NewHub(telemetry.HubConfig{CPUs: 1, RingSize: 1 << 10, Sinks: []telemetry.Sink{sink}})
+	hub.Start()
+	defer hub.Close()
+
+	srv := NewServer(ServerConfig{
+		ID:  "shard-server",
+		Hub: hub,
+		ShardMap: func() ShardMap {
+			return ShardMap{Epoch: 1, Aggregator: "s-a", Shards: []ShardInfo{{ID: "s-a"}, {ID: "s-b"}}}
+		},
+	})
+	if err := srv.Publish(testView("apache", 40, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	c, s := net.Pipe()
+	done := make(chan struct{})
+	go func() { srv.ServeConn(s); close(done) }()
+	defer func() { c.Close(); <-done }()
+
+	// v1 hello: proto byte 1, then the node ID.
+	hello := append([]byte{ProtoV1}, appendStr(nil, "old-node")...)
+	if err := writeFrame(c, msgHello, hello); err != nil {
+		t.Fatal(err)
+	}
+	f, err := readFrame(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.typ != msgHelloAck {
+		t.Fatalf("got %s, want hello-ack", msgName(f.typ))
+	}
+	if f.payload[0] != ProtoV1 {
+		t.Fatalf("negotiated version %d, want %d", f.payload[0], ProtoV1)
+	}
+	// The v1 payload shape: the manifest starts right after the version
+	// byte — no server-identity string in between.
+	man, err := decodeManifest(f.payload[1:])
+	if err != nil {
+		t.Fatalf("hello-ack payload is not v1-shaped: %v", err)
+	}
+	if len(man.Views) != 1 || man.Views[0].Name != "apache" {
+		t.Fatalf("manifest mangled: %+v", man)
+	}
+	proto, serverID, _, err := decodeHelloAck(f.payload)
+	if err != nil || proto != ProtoV1 || serverID != "" {
+		t.Fatalf("decodeHelloAck: proto=%d serverID=%q err=%v, want v1 with no identity", proto, serverID, err)
+	}
+
+	// Sync the catalog the v1 way. The first frame back must be the chunk
+	// response itself: a v2 session would have had a shard-map push queued
+	// ahead of it.
+	if err := writeFrame(c, msgWant, encodeWant(man.Views[0].Chunks)); err != nil {
+		t.Fatal(err)
+	}
+	f, err = readFrame(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.typ != msgChunks {
+		t.Fatalf("got %s after want, want chunks (a v1 session must see no shard-map push)", msgName(f.typ))
+	}
+	chunks, err := decodeChunks(f.payload)
+	if err != nil || len(chunks) != len(man.Views[0].Chunks) {
+		t.Fatalf("chunk sync broken: %d/%d chunks, %v", len(chunks), len(man.Views[0].Chunks), err)
+	}
+
+	// v1 telemetry: the payload is the bare JSON batch, no sequence
+	// prefix. The server must accept it and must NOT answer with an ack —
+	// proven by the very next frame being the catalog we ask for.
+	evs := []telemetry.Event{{Kind: telemetry.KindSwitch, N: 1}, {Kind: telemetry.KindSwitch, N: 2}}
+	raw, err := telemetry.EncodeBatch(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(c, msgTelemetry, raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(c, msgGetCatalog, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err = readFrame(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.typ != msgCatalog {
+		t.Fatalf("got %s after v1 telemetry, want catalog (no telemetry-ack on v1 sessions)", msgName(f.typ))
+	}
+
+	// The batch must have landed in the hub, stamped with the v1 node's
+	// identity.
+	deadline := time.Now().Add(waitFor)
+	for {
+		total, byNode := sink.snapshot()
+		if byNode["old-node"] == len(evs) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hub saw %d events (%v), want %d from old-node", total, byNode, len(evs))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.v1Sessions.Load(); got != 1 {
+		t.Fatalf("v1Sessions counter %d, want 1", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"facechange"
 	"facechange/internal/core"
 	"facechange/internal/fleet"
+	fleetshard "facechange/internal/fleet/shard"
 	"facechange/internal/telemetry"
 )
 
@@ -30,6 +31,12 @@ func (t teeEmitter) Emit(ev telemetry.Event) {
 // catalog through one shared chunk store, and are then driven through the
 // same replay engine — exercising switch and recovery under views that
 // arrived over the wire, with telemetry relayed to the central hub.
+//
+// With cfg.Shards > 1 the single server becomes a sharded plane: the
+// catalog is partitioned onto a consistent-hash ring and replicated by
+// the mirror mesh, each node homes onto its ring shard through an
+// auto-discovering dialer, and telemetry takes the shard-local-then-relay
+// path into the aggregator. The replay is byte-identical either way.
 func runFleet(cfg *RunConfig) (*Report, error) {
 	cfg.Runtimes = cfg.Nodes
 	if cfg.Runtimes > len(cfg.Trace.Shares) {
@@ -43,18 +50,66 @@ func runFleet(cfg *RunConfig) (*Report, error) {
 	hub := telemetry.NewHub(telemetry.HubConfig{})
 	hub.Start()
 	defer hub.Close()
-	srv := fleet.NewServer(fleet.ServerConfig{Hub: hub, Logf: cfg.Logf})
-	for _, spec := range specs {
-		if err := srv.Publish(spec.cfg); err != nil {
-			return nil, fmt.Errorf("load: publish %s: %w", spec.name, err)
+
+	// nodeWiring resolves per-node connectivity: a shared pipe dialer on
+	// the single server, a per-node homing dialer on a plane.
+	type nodeWiring struct {
+		dial  func() (net.Conn, error)
+		onMap func(fleet.ShardMap)
+	}
+	var (
+		wire    func(nodeID string) nodeWiring
+		digest  string
+		pending func() int // undelivered telemetry beyond the node buffers
+	)
+	if cfg.Shards > 1 {
+		infos := make([]fleet.ShardInfo, cfg.Shards)
+		for i := range infos {
+			infos[i] = fleet.ShardInfo{ID: fmt.Sprintf("s-%d", i)}
 		}
+		plane, err := fleetshard.NewPlane(fleetshard.PlaneConfig{Shards: infos, Hub: hub, Logf: cfg.Logf})
+		if err != nil {
+			return nil, fmt.Errorf("load: plane: %w", err)
+		}
+		defer plane.Close()
+		for _, spec := range specs {
+			if err := plane.Publish(spec.cfg); err != nil {
+				return nil, fmt.Errorf("load: publish %s: %w", spec.name, err)
+			}
+		}
+		if err := plane.WaitConverged(30 * time.Second); err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		digest = plane.Digest()
+		wire = func(nodeID string) nodeWiring {
+			h := plane.NodeDialer(nodeID)
+			return nodeWiring{dial: h.Dial, onMap: h.OnShardMap}
+		}
+		pending = func() int {
+			n := 0
+			for _, id := range plane.Alive() {
+				if m, ok := plane.Member(id); ok {
+					n += m.QueueLen()
+				}
+			}
+			return n
+		}
+	} else {
+		srv := fleet.NewServer(fleet.ServerConfig{Hub: hub, Logf: cfg.Logf})
+		for _, spec := range specs {
+			if err := srv.Publish(spec.cfg); err != nil {
+				return nil, fmt.Errorf("load: publish %s: %w", spec.name, err)
+			}
+		}
+		digest = srv.Catalog().Manifest().DigestString()
+		dial := func() (net.Conn, error) {
+			c, s := net.Pipe()
+			go srv.ServeConn(s)
+			return c, nil
+		}
+		wire = func(string) nodeWiring { return nodeWiring{dial: dial} }
+		pending = func() int { return 0 }
 	}
-	dial := func() (net.Conn, error) {
-		c, s := net.Pipe()
-		go srv.ServeConn(s)
-		return c, nil
-	}
-	digest := srv.Catalog().Manifest().DigestString()
 
 	store := fleet.NewChunkStore()
 	var opts *core.Options
@@ -73,6 +128,9 @@ func runFleet(cfg *RunConfig) (*Report, error) {
 	}
 	members := make([]member, 0, cfg.Runtimes)
 	flt := &FleetReport{Nodes: cfg.Runtimes, CatalogDigest: digest, Converged: true}
+	if cfg.Shards > 1 {
+		flt.Shards = cfg.Shards
+	}
 	defer func() {
 		for _, m := range members {
 			m.node.Close()
@@ -87,9 +145,12 @@ func runFleet(cfg *RunConfig) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("load: node %d: %w", i, err)
 		}
+		id := fmt.Sprintf("load-%d", i)
+		w := wire(id)
 		n := fleet.NewNode(fleet.NodeConfig{
-			ID:            fmt.Sprintf("load-%d", i),
-			Dial:          dial,
+			ID:            id,
+			Dial:          w.dial,
+			OnShardMap:    w.onMap,
 			Store:         store,
 			Runtime:       vm.Runtime,
 			FlushInterval: 5 * time.Millisecond,
@@ -141,14 +202,15 @@ func runFleet(cfg *RunConfig) (*Report, error) {
 		}
 	}
 
-	// Let the relay buffers drain into the hub before counting.
+	// Let the relay buffers — and, on a plane, the shard relay queues —
+	// drain into the hub before counting.
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		pending := 0
+		left := pending()
 		for _, m := range members {
-			pending += m.node.Telemetry().Len()
+			left += m.node.Telemetry().Len()
 		}
-		if pending == 0 {
+		if left == 0 {
 			break
 		}
 		time.Sleep(5 * time.Millisecond)

@@ -31,6 +31,7 @@ type ConfigReport struct {
 	// digests.
 	SharedCore bool `json:"sharedcore,omitempty"`
 	Nodes      int  `json:"nodes,omitempty"`
+	Shards     int  `json:"shards,omitempty"`
 }
 
 // OpLatency is the aggregate charged-cycle latency, overall and split by
@@ -88,6 +89,7 @@ type AllocReport struct {
 // FleetReport describes the control-plane side of a fleet-mode run.
 type FleetReport struct {
 	Nodes         int      `json:"nodes"`
+	Shards        int      `json:"shards,omitempty"`
 	CatalogDigest string   `json:"catalog_digest"`
 	Converged     bool     `json:"converged"`
 	JoinBytes     []uint64 `json:"join_bytes"`
@@ -122,6 +124,7 @@ func assemble(cfg *RunConfig, specs []*appSpec, results []*runtimeResult, fleet 
 			CPUs: tc.CPUs, Arrival: tc.Arrival, Rate: tc.Rate, Think: tc.Think,
 			Shape: tc.Shape, Runtimes: cfg.Runtimes, Legacy: cfg.Legacy,
 			Profile: cfg.Profile, SharedCore: cfg.SharedCore, Nodes: cfg.Nodes,
+			Shards: cfg.Shards,
 		},
 		TraceDigest: cfg.Trace.DigestString(),
 		Fleet:       fleet,
@@ -278,6 +281,9 @@ func (r *Report) Format() string {
 	}
 	if r.Fleet != nil {
 		fmt.Fprintf(&b, " fleet=%d", r.Fleet.Nodes)
+		if r.Fleet.Shards > 1 {
+			fmt.Fprintf(&b, " shards=%d", r.Fleet.Shards)
+		}
 	}
 	fmt.Fprintf(&b, "\ntrace digest  %s\nreport digest %s\n", r.TraceDigest, r.ReportDigest)
 
@@ -314,8 +320,12 @@ func (r *Report) Format() string {
 			r.Allocs.SnapshotSwitch, r.Allocs.LegacySwitch)
 	}
 	if r.Fleet != nil {
-		fmt.Fprintf(&b, "fleet: %d nodes, catalog %s, converged=%v, %d telemetry events relayed\n",
-			r.Fleet.Nodes, r.Fleet.CatalogDigest, r.Fleet.Converged, r.Fleet.RelayedEvents)
+		topo := ""
+		if r.Fleet.Shards > 1 {
+			topo = fmt.Sprintf(" across %d shards", r.Fleet.Shards)
+		}
+		fmt.Fprintf(&b, "fleet: %d nodes%s, catalog %s, converged=%v, %d telemetry events relayed\n",
+			r.Fleet.Nodes, topo, r.Fleet.CatalogDigest, r.Fleet.Converged, r.Fleet.RelayedEvents)
 	}
 	for _, s := range r.SLO {
 		verdict := "PASS"

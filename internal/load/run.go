@@ -39,6 +39,13 @@ type RunConfig struct {
 	// control-plane server and Nodes runtime VMs join, sync the catalog,
 	// and are driven through the fleet node API (overrides Runtimes).
 	Nodes int
+	// Shards, when >1 in fleet mode, partitions the control plane into a
+	// sharded multi-server plane: views are published onto the consistent-
+	// hash ring, nodes auto-discover the topology through homing dialers,
+	// and telemetry relays shard-local then hub-to-hub into the aggregator.
+	// The replay itself is identical, so the report digest matches the
+	// single-server fleet run for the same trace.
+	Shards int
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }

@@ -21,6 +21,15 @@ func NewHost() *Host {
 	}
 }
 
+// NewArenaHost creates a host with no guest RAM reservation: a pure page
+// arena for callers that only AllocPage/FreePage (chunk stores, page
+// caches detached from any guest). Memory grows on demand from zero, so a
+// hundred arenas cost what their live pages cost — not a hundred guests'
+// worth of empty RAM.
+func NewArenaHost() *Host {
+	return &Host{}
+}
+
 // AllocPage allocates one zeroed host page outside guest RAM and returns
 // its HPA. Freed pages are reused before the bump pointer advances, so
 // long view load/unload churn keeps host memory bounded by the peak live

@@ -89,6 +89,10 @@ func (s *Simulator) checkCacheBalance() error {
 // ordinary refcounted views, so checkCacheBalance already audits their
 // shadow pages. The registry is empty unless Config.SharedCore is set.
 func (s *Simulator) checkSharedCore() error {
+	deny := make(map[int]bool)
+	for _, i := range s.rt.SharedSuspects() {
+		deny[i] = true
+	}
 	for mi, set := range s.rt.MergedViews() {
 		mv := s.rt.ViewByIndex(mi)
 		if mv == nil {
@@ -106,6 +110,12 @@ func (s *Simulator) checkSharedCore() error {
 			bv := s.rt.ViewByIndex(m)
 			if bv == nil {
 				return fmt.Errorf("sim: merged view %q (index %d) references unloaded member %d", mv.Name, mi, m)
+			}
+			if deny[m] {
+				// A suspect-split member must never survive in (or rejoin)
+				// a union: the split retires existing merges and the
+				// deny-list blocks new ones.
+				return fmt.Errorf("sim: merged view %q (index %d) still counts suspect-split member %d (%s)", mv.Name, mi, m, bv.Name)
 			}
 			if kview.IntersectViews(mv.Cfg, bv.Cfg).Size() != bv.Cfg.Size() {
 				return fmt.Errorf("sim: merged view %q does not cover member %q: union lost ranges", mv.Name, bv.Name)

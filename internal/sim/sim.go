@@ -80,6 +80,16 @@ type Config struct {
 	// elisions. Changes the digest (merged views load, actives differ);
 	// checkSharedCore adds merge-registry invariants to every sweep.
 	SharedCore bool
+	// SharedCoreAdaptive enables the adaptive variant
+	// (core.Options.SharedCoreAdaptive): merges are gated on per-vCPU
+	// switch pressure, and unknown-origin recovery verdicts split their
+	// app's view out of any union (deny-listed from future merges). The
+	// split fires from the hub's drain side at the deterministic check
+	// cadence, so the digest stays reproducible. Implies SharedCore.
+	SharedCoreAdaptive bool
+	// SharedCoreWindow overrides the adaptive rate window in cycles
+	// (0 = core.DefaultSharedCoreRateWindow).
+	SharedCoreWindow uint64
 	// NoTelemetry detaches the telemetry pipeline (on by default: the
 	// runtime streams through a Hub into the aggregator and the detection
 	// engine, and the per-step checks verify stream completeness).
@@ -155,8 +165,9 @@ type Result struct {
 	// counters at the end of the run.
 	Recoveries, InstantRecoveries, ViewSwitches uint64
 	// ElidedSwitches counts same-view switch decisions skipped; under
-	// SharedCore, MergedViewLoads counts union views built.
-	ElidedSwitches, MergedViewLoads uint64
+	// SharedCore, MergedViewLoads counts union views built and
+	// MergedViewSplits counts unions retired by suspect-verdict splits.
+	ElidedSwitches, MergedViewLoads, MergedViewSplits uint64
 	// Loads, Unloads and PoolRuns count successful hotplug operations and
 	// pool-profiling rounds.
 	Loads, Unloads, PoolRuns uint64
@@ -215,8 +226,8 @@ func (r *Result) Summary() string {
 		r.FaultsInjected, r.Corruptions, r.Errors)
 	fmt.Fprintf(&b, "runtime:    %d switches (%d elided), %d recoveries (%d instant)\n",
 		r.ViewSwitches, r.ElidedSwitches, r.Recoveries, r.InstantRecoveries)
-	if r.MergedViewLoads > 0 {
-		fmt.Fprintf(&b, "sharedcore: %d merged views built\n", r.MergedViewLoads)
+	if r.MergedViewLoads > 0 || r.MergedViewSplits > 0 {
+		fmt.Fprintf(&b, "sharedcore: %d merged views built, %d split on suspicion\n", r.MergedViewLoads, r.MergedViewSplits)
 	}
 	fmt.Fprintf(&b, "hotplug:    %d loads, %d unloads, %d live, %d pool runs\n",
 		r.Loads, r.Unloads, r.LiveViews, r.PoolRuns)
@@ -287,7 +298,7 @@ type simTelemetry struct {
 	ud2Traps   uint64 // KindUD2Trap events seen
 }
 
-func newSimTelemetry(cpus, ringSize int, extra []telemetry.Sink, rt *core.Runtime, evolveOn bool) (*simTelemetry, error) {
+func newSimTelemetry(cpus, ringSize int, extra []telemetry.Sink, rt *core.Runtime, evolveOn, splitOn bool) (*simTelemetry, error) {
 	t := &simTelemetry{
 		agg: telemetry.NewAggregator(0),
 		eng: detect.New(detect.Config{}),
@@ -298,6 +309,15 @@ func newSimTelemetry(cpus, ringSize int, extra []telemetry.Sink, rt *core.Runtim
 			t.recoveries++
 			if detect.UnknownOrigin(ev) {
 				t.unknown++
+				if splitOn && ev.Comm != "" {
+					// The adaptive shared-core verdict hook: an
+					// unknown-origin recovery suspects its app, so split
+					// its view out of any union and deny future merges.
+					// Sinks run on the hub's drain side (the sim drains at
+					// check cadence, never inside a trap), which is the
+					// only side SplitShared may be called from.
+					rt.SplitShared(ev.Comm)
+				}
 			}
 		case telemetry.KindUD2Trap:
 			t.ud2Traps++
@@ -352,7 +372,9 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.LegacySwitch {
 		opts = core.DefaultOptions()
 	}
-	opts.SharedCore = cfg.SharedCore
+	opts.SharedCore = cfg.SharedCore || cfg.SharedCoreAdaptive
+	opts.SharedCoreAdaptive = cfg.SharedCoreAdaptive
+	opts.SharedCoreRateWindow = cfg.SharedCoreWindow
 	rt, err := core.New(core.Setup{
 		Machine:  k.M,
 		Symbols:  k.Syms,
@@ -370,7 +392,7 @@ func New(cfg Config) (*Simulator, error) {
 		// goroutine), so the event stream stays deterministic and every
 		// check sees a fully flushed pipeline — promotions cut by the
 		// evolution loop land at those same deterministic points.
-		tel, err = newSimTelemetry(cfg.CPUs, cfg.TelemetryRing, cfg.Sinks, rt, cfg.Evolve)
+		tel, err = newSimTelemetry(cfg.CPUs, cfg.TelemetryRing, cfg.Sinks, rt, cfg.Evolve, cfg.SharedCoreAdaptive)
 		if err != nil {
 			return nil, fmt.Errorf("sim: attach evolution loop: %w", err)
 		}
@@ -644,6 +666,7 @@ func (s *Simulator) finish(v *Violation) (*Result, error) {
 	s.res.ViewSwitches = s.rt.ViewSwitches
 	s.res.ElidedSwitches = s.rt.ElidedSwitches
 	s.res.MergedViewLoads = s.rt.MergedViewLoads
+	s.res.MergedViewSplits = s.rt.MergedViewSplits
 	s.res.LiveViews = len(s.rt.LoadedIndices())
 	s.res.Cache = s.rt.CacheStats()
 	if s.tel != nil {

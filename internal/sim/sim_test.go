@@ -506,6 +506,51 @@ func TestSharedCoreSim(t *testing.T) {
 	}
 }
 
+// TestSharedCoreAdaptiveSim: the adaptive policy's two regimes under the
+// invariant sweeps. A wide-open rate window merges like the plain policy
+// (and arms the suspect-split hook: unknown-origin verdicts retire
+// unions, with checkSharedCore proving no suspect ever rejoins one); a
+// one-cycle window never heats, so no union is ever built — switch-rate
+// gating actually gates.
+func TestSharedCoreAdaptiveSim(t *testing.T) {
+	for _, faults := range []FaultKind{FaultNone, FaultAll} {
+		hot, err := Run(Config{Seed: 5, Steps: 2500, Faults: faults, SharedCoreAdaptive: true,
+			SharedCoreWindow: ^uint64(0), NoPool: true})
+		if err != nil {
+			t.Fatalf("faults=%v hot: simulation failed: %v", faults, err)
+		}
+		if hot.Violation != nil {
+			t.Fatalf("faults=%v hot: violation: %v", faults, hot.Violation)
+		}
+		if hot.MergedViewLoads == 0 {
+			t.Errorf("faults=%v: no merged views built with a wide-open window", faults)
+		}
+		cold, err := Run(Config{Seed: 5, Steps: 2500, Faults: faults, SharedCoreAdaptive: true,
+			SharedCoreWindow: 1, NoPool: true})
+		if err != nil {
+			t.Fatalf("faults=%v cold: simulation failed: %v", faults, err)
+		}
+		if cold.Violation != nil {
+			t.Fatalf("faults=%v cold: violation: %v", faults, cold.Violation)
+		}
+		if cold.MergedViewLoads != 0 {
+			t.Errorf("faults=%v: %d merged views built under a one-cycle window, want 0",
+				faults, cold.MergedViewLoads)
+		}
+	}
+	// Determinism: splits fire from the drain side at check cadence, so
+	// an adaptive run must reproduce its digest exactly.
+	cfg := Config{Seed: 9, Steps: 2000, Faults: FaultAll, SharedCoreAdaptive: true, NoPool: true}
+	a, errA := Run(cfg)
+	b, errB := Run(cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("runs failed: %v / %v", errA, errB)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("adaptive run not deterministic: %016x != %016x", a.Digest, b.Digest)
+	}
+}
+
 // TestSharedCoreDigest: shared-core changes which views install, so it
 // must be digest-visible against the same seed — and deterministic with
 // itself.
