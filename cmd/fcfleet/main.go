@@ -49,6 +49,7 @@ func main() {
 		killSh   = flag.Bool("kill-shard", false, "demo mode with -shards: sever one non-aggregator shard mid-run (failover demo)")
 		ring     = flag.Bool("ring", false, "demo mode with -shards: print the consistent-hash ownership of every catalog view")
 		appsFlag = flag.String("apps", "apache,gzip", "catalog applications (csv)")
+		migrateF = flag.String("migrate", "", "demo mode: live-migrate an app's view state after the workloads, e.g. apache@node-0>node-1 (dst \"auto\" picks the ring-aligned target)")
 		syscalls = flag.Int("syscalls", 150, "workload length per node")
 		profile  = flag.Int("profile", 300, "profiling depth per application")
 		listen   = flag.String("listen", "", "serve fleet-wide /metrics on this address")
@@ -78,6 +79,7 @@ func main() {
 			nodes: *nodes, shards: *shards, killShard: *killSh, ring: *ring,
 			apps: strings.Split(*appsFlag, ","), profile: *profile,
 			syscalls: *syscalls, listen: *listen, hold: *hold,
+			migrate: *migrateF,
 		}, logf)
 	}
 	if err != nil {
@@ -93,6 +95,7 @@ type demoConfig struct {
 	profile, syscalls int
 	listen            string
 	hold              bool
+	migrate           string
 }
 
 // runDemo runs the in-process fleet and prints per-node digests — the CI
@@ -109,6 +112,7 @@ func runDemo(cfg demoConfig, logf func(string, ...any)) error {
 		Hub:       hub,
 		Shards:    cfg.shards,
 		KillShard: cfg.killShard,
+		Migrate:   cfg.migrate,
 		Logf:      logf,
 	})
 	if err != nil {

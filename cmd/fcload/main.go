@@ -48,6 +48,7 @@ func main() {
 		fleetM   = flag.Bool("fleet", false, "drive fleet nodes synced from a control-plane server instead of local runtimes")
 		nodes    = flag.Int("nodes", 3, "fleet size under -fleet")
 		shards   = flag.Int("shards", 1, "under -fleet: partition the control plane into this many shards (ring-routed catalog, homing nodes, relayed telemetry)")
+		migRate  = flag.Float64("migrate-rate", 0, "under -fleet: live-migrate apps between nodes mid-replay, this many moves per 1000 events (changes the report digest)")
 		slo      = flag.String("slo", "", "comma-separated latency bounds, e.g. p99=40000,recovery.p999=200000")
 		diffPath = flag.String("diff", "", "compare against a prior JSON report; exit 1 on percentile regression beyond -difftol")
 		diffTol  = flag.Float64("difftol", 0.10, "fractional slowdown tolerated by -diff (0.10 = +10%)")
@@ -84,6 +85,7 @@ func main() {
 	if *fleetM {
 		cfg.Nodes = *nodes
 		cfg.Shards = *shards
+		cfg.MigrateRate = *migRate
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

@@ -33,7 +33,7 @@ func main() {
 		nopool  = flag.Bool("nopool", false, "disable concurrent pool-profiling events")
 		check   = flag.Int("check", 2000, "full invariant sweep cadence in steps")
 		legacy  = flag.Bool("legacy", false, "use the paper's per-entry EPT rewrite switch path instead of snapshot root swaps")
-		mix     = flag.String("mix", "default", "event mix: default, or churn (module/view hotplug heavy)")
+		mix     = flag.String("mix", "default", "event mix: default, churn (module/view hotplug heavy), or migrate (live view migration)")
 		notel   = flag.Bool("notelemetry", false, "detach the telemetry pipeline (skips stream-completeness checks)")
 		evolveF = flag.Bool("evolve", false, "run the online view-evolution loop: benign recoveries promote into hot-plugged view generations (changes the digest)")
 		shcore  = flag.Bool("sharedcore", false, "merge co-scheduled apps' views per vCPU into union views (changes the digest)")

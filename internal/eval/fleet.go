@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strings"
 	"time"
 
 	"facechange"
@@ -21,6 +22,7 @@ import (
 	"facechange/internal/fleet"
 	fleetshard "facechange/internal/fleet/shard"
 	"facechange/internal/kview"
+	"facechange/internal/migrate"
 	"facechange/internal/telemetry"
 )
 
@@ -54,6 +56,12 @@ type FleetConfig struct {
 	// delta sync from interned chunks, and the final convergence and
 	// telemetry accounting must hold regardless.
 	KillShard bool
+	// Migrate, when non-empty, live-migrates an app's view state between
+	// nodes after the workloads ran (so real recovered spans and COW
+	// deltas travel): "app@node-0>node-1" ("→" also accepted). A dst of
+	// "auto" picks the target whose ring home matches the view's owner
+	// shard (any other node on unsharded planes).
+	Migrate string
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -116,9 +124,25 @@ type FleetResult struct {
 	KilledShard string            `json:"killed_shard,omitempty"`
 	RingOwners  map[string]string `json:"ring_owners,omitempty"`
 
+	// Migration describes the live view-state move, when one was requested.
+	Migration *MigrationSummary `json:"migration,omitempty"`
+
 	// Server stays queryable after the run (catalog, WriteMetrics). On a
 	// sharded plane it is the aggregator shard's server.
 	Server *fleet.Server `json:"-"`
+}
+
+// MigrationSummary is the outcome of a FleetConfig.Migrate move.
+type MigrationSummary struct {
+	App           string `json:"app"`
+	Src           string `json:"src"`
+	Dst           string `json:"dst"`
+	ImageBytes    int    `json:"image_bytes"`
+	DeltasApplied int    `json:"deltas_applied"`
+	DeltasSkipped int    `json:"deltas_skipped"`
+	// RingAligned reports whether the target's ring home owns the view's
+	// digest (always false on unsharded planes).
+	RingAligned bool `json:"ring_aligned,omitempty"`
 }
 
 // Summary renders the run for terminals.
@@ -141,8 +165,35 @@ func (r *FleetResult) Summary() string {
 	}
 	s += fmt.Sprintf("fleet: delta sync: first join %dB, last join %dB, %d interned-page hits (%dB saved)\n",
 		r.FirstJoinBytes, r.LastJoinBytes, r.DeltaCacheHits, r.DeltaBytesSaved)
+	if m := r.Migration; m != nil {
+		aligned := ""
+		if m.RingAligned {
+			aligned = ", ring-aligned target"
+		}
+		s += fmt.Sprintf("fleet: migrated %s %s>%s: %dB image (deltas only), %d deltas applied, %d skipped%s\n",
+			m.App, m.Src, m.Dst, m.ImageBytes, m.DeltasApplied, m.DeltasSkipped, aligned)
+	}
 	s += fmt.Sprintf("fleet: %d telemetry events relayed to the central hub\n", r.Events)
 	return s
+}
+
+// ParseMigrateSpec parses a FleetConfig.Migrate spec: "app@src>dst", with
+// "→" accepted in place of ">".
+func ParseMigrateSpec(spec string) (app, src, dst string, err error) {
+	at := strings.IndexByte(spec, '@')
+	if at < 0 {
+		return "", "", "", fmt.Errorf("eval: migrate spec %q: want app@src>dst", spec)
+	}
+	app, rest := spec[:at], strings.ReplaceAll(spec[at+1:], "→", ">")
+	gt := strings.IndexByte(rest, '>')
+	if gt < 0 {
+		return "", "", "", fmt.Errorf("eval: migrate spec %q: want app@src>dst", spec)
+	}
+	src, dst = strings.TrimSpace(rest[:gt]), strings.TrimSpace(rest[gt+1:])
+	if app == "" || src == "" || dst == "" {
+		return "", "", "", fmt.Errorf("eval: migrate spec %q: empty app or node", spec)
+	}
+	return app, src, dst, nil
 }
 
 // RingLayout renders the consistent-hash ownership of every catalog view
@@ -260,6 +311,7 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		vm    *facechange.VM
 		app   apps.App
 		homer *fleetshard.Homing
+		agent *migrate.Agent
 	}
 	var members []member
 	defer func() {
@@ -275,12 +327,14 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		}
 		id := fmt.Sprintf("node-%d", i)
 		homer, dial, onMap := wiring(id)
+		agent := migrate.NewAgent(vm.Runtime, nil)
 		n := fleet.NewNode(fleet.NodeConfig{
 			ID:            id,
 			Dial:          dial,
 			OnShardMap:    onMap,
 			Store:         store,
 			Runtime:       vm.Runtime,
+			Migrate:       agent,
 			FlushInterval: 5 * time.Millisecond,
 			Logf:          cfg.Logf,
 		})
@@ -295,7 +349,7 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		}
 		lastJoin = in
 		cfg.Logf("fleet: node-%d joined: %d bytes, digest %s", i, in, n.Digest())
-		members = append(members, member{node: n, vm: vm, app: list[i%len(list)], homer: homer})
+		members = append(members, member{node: n, vm: vm, app: list[i%len(list)], homer: homer, agent: agent})
 	}
 
 	// Phase 4: per-node workloads under the synced views, concurrently.
@@ -330,6 +384,79 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		if err := <-errs; err != nil {
 			return nil, fmt.Errorf("eval: fleet workload: %w", err)
 		}
+	}
+
+	// Phase 4.5: live migration — after the workloads, so the moved view
+	// carries real recovered spans and COW deltas, not a pristine image.
+	var migration *MigrationSummary
+	if cfg.Migrate != "" {
+		app, src, dst, err := ParseMigrateSpec(cfg.Migrate)
+		if err != nil {
+			return nil, err
+		}
+		aligned := false
+		if dst == "auto" {
+			var candidates []string
+			for i := range members {
+				if id := fmt.Sprintf("node-%d", i); id != src {
+					candidates = append(candidates, id)
+				}
+			}
+			if len(candidates) == 0 {
+				return nil, fmt.Errorf("eval: migrate %s: no target candidates", app)
+			}
+			if plane != nil {
+				var vd fleet.Hash
+				found := false
+				for _, vm := range srv.Catalog().Manifest().Views {
+					if vm.Name == app {
+						vd, found = vm.Digest, true
+						break
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("eval: migrate %s: not in the catalog", app)
+				}
+				dst, aligned = plane.PickMigrateTarget(vd, candidates)
+			} else {
+				dst = candidates[0]
+			}
+		}
+		var mr *fleet.MigrateResult
+		if plane != nil {
+			mr, err = plane.Migrate(app, src, dst, 15*time.Second)
+		} else {
+			mr, err = srv.Migrate(app, src, dst, 15*time.Second)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("eval: migrate %s %s>%s: %w", app, src, dst, err)
+		}
+		// The commit directive lands on the source asynchronously; wait for
+		// the teardown so the hot-push resync below starts from a settled
+		// source.
+		var srcAgent *migrate.Agent
+		for i := range members {
+			if fmt.Sprintf("node-%d", i) == src {
+				srcAgent = members[i].agent
+			}
+		}
+		if srcAgent != nil {
+			deadline := time.Now().Add(10 * time.Second)
+			for srcAgent.Frozen(app) {
+				if time.Now().After(deadline) {
+					return nil, fmt.Errorf("eval: migrate %s: source commit never landed", app)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		migration = &MigrationSummary{
+			App: app, Src: src, Dst: dst,
+			ImageBytes:    mr.ImageBytes,
+			DeltasApplied: mr.DeltasApplied,
+			DeltasSkipped: mr.DeltasSkipped,
+			RingAligned:   aligned,
+		}
+		cfg.Logf("fleet: migrated %s %s>%s (%dB image, %d deltas)", app, src, dst, mr.ImageBytes, mr.DeltasApplied)
 	}
 
 	// Phase 5: hot push mid-fleet — a union view reaches every node (on a
@@ -380,6 +507,7 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 		Converged:      true,
 		FirstJoinBytes: firstJoin,
 		LastJoinBytes:  lastJoin,
+		Migration:      migration,
 		Server:         srv,
 	}
 	if plane != nil {

@@ -134,3 +134,57 @@ func TestRunFleetShardedFailover(t *testing.T) {
 		t.Errorf("ring layout empty:\n%s", res.RingLayout())
 	}
 }
+
+// TestRunFleetMigrates is the fcfleet -migrate demo as a test: after the
+// workloads, one app's live view state moves between two nodes and the
+// summary reports the deltas-only image.
+func TestRunFleetMigrates(t *testing.T) {
+	hub := telemetry.NewHub(telemetry.HubConfig{})
+	hub.Start()
+	defer hub.Close()
+
+	res, err := RunFleet(FleetConfig{
+		Nodes:    2,
+		Apps:     []string{"apache", "gzip"},
+		Profile:  facechange.ProfileConfig{Syscalls: 120},
+		Syscalls: 60,
+		Hub:      hub,
+		Migrate:  "apache@node-0>node-1",
+	})
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("fleet did not converge: %+v", res)
+	}
+	m := res.Migration
+	if m == nil {
+		t.Fatal("result lacks a migration summary")
+	}
+	if m.App != "apache" || m.Src != "node-0" || m.Dst != "node-1" {
+		t.Fatalf("migration mislabeled: %+v", m)
+	}
+	if m.ImageBytes == 0 {
+		t.Fatal("empty migration image")
+	}
+	if m.RingAligned {
+		t.Fatal("unsharded run cannot be ring-aligned")
+	}
+	if !strings.Contains(res.Summary(), "migrated apache node-0>node-1") {
+		t.Fatalf("summary missing the migration line:\n%s", res.Summary())
+	}
+}
+
+func TestParseMigrateSpec(t *testing.T) {
+	for _, spec := range []string{"apache@node-0>node-1", "apache@node-0→node-1", "apache@ node-0 > node-1"} {
+		app, src, dst, err := ParseMigrateSpec(spec)
+		if err != nil || app != "apache" || src != "node-0" || dst != "node-1" {
+			t.Errorf("ParseMigrateSpec(%q) = %q %q %q, %v", spec, app, src, dst, err)
+		}
+	}
+	for _, spec := range []string{"", "apache", "apache@node-0", "@node-0>node-1", "apache@>node-1", "apache@node-0>"} {
+		if _, _, _, err := ParseMigrateSpec(spec); err == nil {
+			t.Errorf("ParseMigrateSpec(%q) accepted", spec)
+		}
+	}
+}

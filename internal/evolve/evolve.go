@@ -487,6 +487,77 @@ func (e *Evolver) DeniedSpans(app string) []Span {
 	return out
 }
 
+// DeniedSpan is one deny-list entry with the verdict class that earned it
+// — the class-preserving form live migration carries between nodes.
+type DeniedSpan struct {
+	Span
+	Class detect.Class
+}
+
+// AppState is an application's portable evolution state: the current
+// generation's view, the generation counter, and the deny-list. It is what
+// a live migration ships so the learned profile survives the move.
+type AppState struct {
+	App    string
+	Gen    uint64
+	View   *kview.View
+	Denied []DeniedSpan
+}
+
+// ExportApp snapshots an application's portable evolution state. Unknown
+// applications export their configured (or empty) base at generation 0.
+func (e *Evolver) ExportApp(app string) AppState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a := e.app(app)
+	st := AppState{App: app, Gen: a.gen, View: a.base}
+	st.Denied = make([]DeniedSpan, 0, len(a.denied))
+	for s, c := range a.denied {
+		st.Denied = append(st.Denied, DeniedSpan{Span: s, Class: c})
+	}
+	sort.Slice(st.Denied, func(i, j int) bool {
+		if st.Denied[i].Start != st.Denied[j].Start {
+			return st.Denied[i].Start < st.Denied[j].Start
+		}
+		return st.Denied[i].End < st.Denied[j].End
+	})
+	return st
+}
+
+// ImportApp merges a migrated application's evolution state into this
+// evolver. The generation counter is newest-wins: a strictly newer
+// generation replaces the base view and counter (the same monotonic guard
+// the fleet catalog applies); an older or equal one only contributes its
+// deny-list. Deny-list entries always merge — a span denied anywhere in
+// the fleet stays denied here — and purge any candidate or pending
+// promotion the span had locally earned.
+func (e *Evolver) ImportApp(st AppState) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a := e.app(st.App)
+	if st.Gen > a.gen && st.View != nil {
+		a.base = st.View
+		a.gen = st.Gen
+		a.st.Gen = st.Gen
+		a.st.BytesExposed = st.View.Size()
+		a.st.TextPct = e.textPct(st.View)
+	}
+	for _, d := range st.Denied {
+		if _, ok := a.denied[d.Span]; !ok {
+			a.denied[d.Span] = d.Class
+		}
+		delete(a.cands, d.Span)
+		for i, p := range a.pending {
+			if p == d.Span {
+				a.pending = append(a.pending[:i], a.pending[i+1:]...)
+				e.st.PendingPurged++
+				a.st.PendingPurged++
+				break
+			}
+		}
+	}
+}
+
 // Generations returns the full cut history, in cut order.
 func (e *Evolver) Generations() []Generation {
 	e.mu.Lock()

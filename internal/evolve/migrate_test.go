@@ -1,0 +1,96 @@
+package evolve
+
+import (
+	"testing"
+
+	"facechange/internal/detect"
+	"facechange/internal/kview"
+)
+
+func migView(size uint32) *kview.View {
+	v := kview.NewView("apache")
+	v.Insert(kview.BaseKernel, 0x1000, 0x1000+size)
+	return v
+}
+
+// TestExportImportAppState: the portable evolution state a live migration
+// ships round-trips — generation newest-wins, deny-lists merge
+// class-preserving, and the exported form is sorted (canonical for the
+// wire image).
+func TestExportImportAppState(t *testing.T) {
+	e := newEvolver(t, Config{})
+
+	// An unknown app exports an empty generation-0 state.
+	if st := e.ExportApp("apache"); st.Gen != 0 || len(st.Denied) != 0 {
+		t.Fatalf("fresh export: %+v", st)
+	}
+
+	in := AppState{
+		App:  "apache",
+		Gen:  5,
+		View: migView(0x400),
+		Denied: []DeniedSpan{
+			{Span: Span{Start: 0x3000, End: 0x3100}, Class: detect.ClassUnknownOrigin + 1},
+			{Span: Span{Start: 0x2000, End: 0x2040}, Class: detect.ClassUnknownOrigin},
+		},
+	}
+	e.ImportApp(in)
+	out := e.ExportApp("apache")
+	if out.Gen != 5 || out.View == nil || out.View.Size() != 0x400 {
+		t.Fatalf("import did not adopt the newer generation: %+v", out)
+	}
+	if len(out.Denied) != 2 || out.Denied[0].Start != 0x2000 || out.Denied[1].Class != detect.ClassUnknownOrigin+1 {
+		t.Fatalf("deny-list not merged sorted and class-preserving: %+v", out.Denied)
+	}
+
+	// An older generation must not roll the profile back, but its
+	// deny-list still merges — a span denied anywhere stays denied.
+	e.ImportApp(AppState{
+		App:    "apache",
+		Gen:    2,
+		View:   migView(0x80),
+		Denied: []DeniedSpan{{Span: Span{Start: 0x4000, End: 0x4010}, Class: detect.ClassUnknownOrigin}},
+	})
+	out = e.ExportApp("apache")
+	if out.Gen != 5 || out.View.Size() != 0x400 {
+		t.Fatalf("older import rolled the generation back: gen=%d size=%#x", out.Gen, out.View.Size())
+	}
+	if len(out.Denied) != 3 {
+		t.Fatalf("older import's deny-list dropped: %+v", out.Denied)
+	}
+
+	// A strictly newer one replaces view and counter.
+	e.ImportApp(AppState{App: "apache", Gen: 9, View: migView(0x600)})
+	if out = e.ExportApp("apache"); out.Gen != 9 || out.View.Size() != 0x600 {
+		t.Fatalf("newer import not adopted: %+v", out)
+	}
+}
+
+// TestImportAppPurgesPromotions: a deny arriving with a migrated state
+// must cancel any promotion the span had locally earned — candidate and
+// pending alike.
+func TestImportAppPurgesPromotions(t *testing.T) {
+	e := newEvolver(t, Config{})
+	span := Span{Start: 0x5000, End: 0x5080}
+	e.mu.Lock()
+	a := e.app("apache")
+	a.cands[span] = &candidate{}
+	a.pending = append(a.pending, span)
+	e.mu.Unlock()
+
+	e.ImportApp(AppState{
+		App:    "apache",
+		Denied: []DeniedSpan{{Span: span, Class: detect.ClassUnknownOrigin}},
+	})
+
+	e.mu.Lock()
+	_, cand := a.cands[span]
+	pending := len(a.pending)
+	e.mu.Unlock()
+	if cand || pending != 0 {
+		t.Fatalf("denied span still promoted: cand=%v pending=%d", cand, pending)
+	}
+	if e.Stats().PendingPurged != 1 {
+		t.Fatalf("PendingPurged = %d, want 1", e.Stats().PendingPurged)
+	}
+}

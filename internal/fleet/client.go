@@ -3,6 +3,7 @@ package fleet
 import (
 	"crypto/sha256"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,11 @@ type NodeConfig struct {
 	// uses to mirror a peer's partition into its own catalog. An error
 	// aborts the sync (the previous complete catalog stays in place).
 	Apply func(m Manifest, views []*kview.View) error
+	// Migrate, when non-nil, lets this node act as a live-migration
+	// endpoint: the server's offer/state pushes drive it to checkpoint,
+	// commit, abort or import view state. A node without an agent refuses
+	// offers gracefully.
+	Migrate MigrationAgent
 	// Logf, when non-nil, receives node lifecycle lines.
 	Logf func(format string, args ...any)
 }
@@ -61,6 +67,33 @@ type NodeConfig struct {
 type loadedView struct {
 	idx    int
 	digest Hash
+}
+
+// ResolveViewFunc reassembles a view configuration from the node's own
+// content-addressed store by digest — the migration import path's only
+// source of catalog content (chunks the target already mirrors are never
+// re-sent; an unmirrored digest fails the resolve and the import). An
+// alias, so agents implement MigrationAgent without importing fleet.
+type ResolveViewFunc = func(digest Hash) (*kview.View, error)
+
+// MigrationAgent is the node-side hook live migration drives. The
+// standard implementation lives in internal/migrate (backed by a
+// core.Runtime and optionally an evolve.Evolver); fleet only needs the
+// byte-level contract, keeping wire and runtime layers decoupled.
+//
+// Freeze quiesces the app on this node (its view detaches from vCPUs,
+// which revert to the full kernel view) but keeps all state; Export
+// renders the canonical image. Commit releases the frozen state (the
+// migration landed elsewhere); Abort restores it exactly. Import applies
+// an image on this node, resolving the pinned view configuration through
+// the supplied resolver, and reports the app plus the runtime view index
+// and how many COW deltas applied or were skipped.
+type MigrationAgent interface {
+	Freeze(app string) error
+	Export(app, srcNode string, finalSeq uint64) ([]byte, error)
+	Commit(app string) error
+	Abort(app string) error
+	Import(img []byte, resolve ResolveViewFunc) (app string, idx, applied, skipped int, err error)
 }
 
 // Node is one fleet runtime's control-plane client. It keeps a session to
@@ -341,6 +374,11 @@ type session struct {
 	frames   chan frame
 	readErr  error
 	pending  bool // an update notice arrived while a round trip was in flight
+	// frozen tracks apps checkpointed for migration and awaiting the
+	// server's commit-or-abort directive. Session-goroutine-only. Teardown
+	// aborts every entry, so a node that loses its control-plane session
+	// mid-migration restores its own state instead of stranding it.
+	frozen map[string]struct{}
 
 	// telScratch is the relay's batch buffer, reused across flushes so the
 	// steady-state peek is allocation-free.
@@ -363,7 +401,16 @@ func (n *Node) session(raw net.Conn) error {
 	n.conn = raw
 	n.mu.Unlock()
 
-	s := &session{node: n, conn: conn, frames: make(chan frame, 64)}
+	s := &session{node: n, conn: conn, frames: make(chan frame, 64), frozen: make(map[string]struct{})}
+	defer func() {
+		for app := range s.frozen {
+			if err := n.cfg.Migrate.Abort(app); err != nil {
+				n.logf("fleet: node %q: abort frozen %q on session end: %v", n.cfg.ID, app, err)
+			} else {
+				n.logf("fleet: node %q: session died mid-migration, thawed %q", n.cfg.ID, app)
+			}
+		}
+	}()
 	if err := s.write(msgHello, encodeHello(n.cfg.ID)); err != nil {
 		return err
 	}
@@ -486,6 +533,18 @@ func (n *Node) session(raw net.Conn) error {
 				if err := s.handleShardMap(f.payload); err != nil {
 					return err
 				}
+			case msgMigrateOffer:
+				if err := s.handleMigrateOffer(f.payload); err != nil {
+					return err
+				}
+			case msgMigrateState:
+				if err := s.handleMigrateImport(f.payload); err != nil {
+					return err
+				}
+			case msgMigrateAck:
+				if err := s.handleMigrateDirective(f.payload); err != nil {
+					return err
+				}
 			case msgError:
 				r := &wireReader{b: f.payload}
 				msg, _ := r.str()
@@ -495,6 +554,152 @@ func (n *Node) session(raw net.Conn) error {
 			}
 		}
 	}
+}
+
+// handleMigrateOffer checkpoints an app for migration: freeze, drain the
+// relay rings so the telemetry watermark is final, export the canonical
+// image, and answer with its digest-pinned bytes. Any failure thaws and
+// answers a refusal — the server aborts, the source keeps serving.
+func (s *session) handleMigrateOffer(payload []byte) error {
+	req, app, dst, err := decodeMigrateOffer(payload)
+	if err != nil {
+		return err
+	}
+	n := s.node
+	refuse := func(msg string) error {
+		n.logf("fleet: node %q: refusing migration of %q to %q: %s", n.cfg.ID, app, dst, msg)
+		return s.write(msgMigrateState, encodeMigrateRefuse(req, msg))
+	}
+	agent := n.cfg.Migrate
+	if agent == nil {
+		return refuse("no migration agent configured")
+	}
+	if err := agent.Freeze(app); err != nil {
+		return refuse(err.Error())
+	}
+	// Freeze first, then drain: every event the app emitted on this node
+	// is now behind the watermark. The flush ships what the in-flight
+	// window allows; what stays buffered is still counted — relayNext plus
+	// the buffer length is the node's total emitted sequence, and the
+	// peek/commit discipline guarantees everything below it is delivered.
+	s.flushTelemetry()
+	n.mu.Lock()
+	finalSeq := n.relayNext + uint64(n.buf.Len())
+	n.mu.Unlock()
+	img, err := agent.Export(app, n.cfg.ID, finalSeq)
+	if err != nil {
+		if aerr := agent.Abort(app); aerr != nil {
+			n.logf("fleet: node %q: thaw %q after export failure: %v", n.cfg.ID, app, aerr)
+		}
+		return refuse(err.Error())
+	}
+	s.frozen[app] = struct{}{}
+	n.logf("fleet: node %q: exported %q for migration to %q (%d bytes, final seq %d)",
+		n.cfg.ID, app, dst, len(img), finalSeq)
+	return s.write(msgMigrateState, encodeMigrateState(req, sha256.Sum256(img), img))
+}
+
+// handleMigrateImport restores a pushed migration image on this node,
+// reassembling the pinned view configuration from the local chunk store.
+func (s *session) handleMigrateImport(payload []byte) error {
+	req, digest, img, refusal, err := decodeMigrateState(payload)
+	if err != nil {
+		return err
+	}
+	n := s.node
+	fail := func(app, msg string) error {
+		n.logf("fleet: node %q: migration import failed: %s", n.cfg.ID, msg)
+		return s.write(msgMigrateAck, encodeMigrateAck(req, app, false, 0, 0, msg))
+	}
+	if refusal != "" {
+		return fail("", "refusal frame pushed to import target")
+	}
+	if n.cfg.Migrate == nil {
+		return fail("", "no migration agent configured")
+	}
+	if sha256.Sum256(img) != digest {
+		return fail("", "image bytes do not match their digest pin")
+	}
+	// Remember which view digest the agent resolved so the node's applied-
+	// view bookkeeping can adopt the imported instance.
+	var resolved struct {
+		d  Hash
+		ok bool
+	}
+	resolve := func(d Hash) (*kview.View, error) {
+		resolved.d, resolved.ok = d, true
+		return n.resolveView(d)
+	}
+	app, idx, applied, skipped, err := n.cfg.Migrate.Import(img, resolve)
+	if err != nil {
+		return fail(app, err.Error())
+	}
+	// The imported instance supersedes any catalog-synced load of the same
+	// app: adopt it in the loaded map (so future syncs with an unchanged
+	// digest keep it) and retire the superseded index.
+	if resolved.ok {
+		n.mu.Lock()
+		old, had := n.loaded[app]
+		n.loaded[app] = loadedView{idx: idx, digest: resolved.d}
+		n.mu.Unlock()
+		if had && old.idx != idx && n.cfg.Runtime != nil {
+			if uerr := n.cfg.Runtime.UnloadView(old.idx); uerr != nil {
+				n.logf("fleet: node %q: retire superseded view %d for %q: %v", n.cfg.ID, old.idx, app, uerr)
+			}
+		}
+	}
+	n.logf("fleet: node %q: imported %q (%d deltas applied, %d skipped)", n.cfg.ID, app, applied, skipped)
+	return s.write(msgMigrateAck, encodeMigrateAck(req, app, true, uint32(applied), uint32(skipped), ""))
+}
+
+// handleMigrateDirective resolves a frozen checkpoint: commit (the
+// migration landed on the target — unload here) or abort (restore the
+// app exactly as it was).
+func (s *session) handleMigrateDirective(payload []byte) error {
+	_, app, ok, _, _, detail, err := decodeMigrateAck(payload)
+	if err != nil {
+		return err
+	}
+	n := s.node
+	if _, frozen := s.frozen[app]; !frozen {
+		// A directive for state this session does not hold — stale replay
+		// after a timeout already aborted it. Nothing to do.
+		return nil
+	}
+	delete(s.frozen, app)
+	if ok {
+		if cerr := n.cfg.Migrate.Commit(app); cerr != nil {
+			n.logf("fleet: node %q: commit migrated %q: %v", n.cfg.ID, app, cerr)
+			return nil
+		}
+		// The app's state now lives on the target; drop the applied-view
+		// entry so a future catalog sync reloads the view pristine.
+		n.mu.Lock()
+		delete(n.loaded, app)
+		n.mu.Unlock()
+		n.logf("fleet: node %q: migration of %q committed, view unloaded", n.cfg.ID, app)
+	} else {
+		if aerr := n.cfg.Migrate.Abort(app); aerr != nil {
+			n.logf("fleet: node %q: abort migration of %q: %v", n.cfg.ID, app, aerr)
+			return nil
+		}
+		n.logf("fleet: node %q: migration of %q aborted (%s), state restored", n.cfg.ID, app, detail)
+	}
+	return nil
+}
+
+// resolveView reassembles the catalog view with the given content digest
+// from the node's own chunk store.
+func (n *Node) resolveView(d Hash) (*kview.View, error) {
+	n.mu.Lock()
+	m := n.last
+	n.mu.Unlock()
+	for _, vm := range m.Views {
+		if vm.Digest == d {
+			return AssembleView(vm, n.store.Get)
+		}
+	}
+	return nil, fmt.Errorf("fleet: node %q mirrors no view with digest %x (sync the catalog before migrating)", n.cfg.ID, d[:8])
 }
 
 // handleAck commits the relay buffer up to the acknowledged cumulative
@@ -585,6 +790,18 @@ func (s *session) await(want byte) (frame, error) {
 				}
 			case msgShardMap:
 				if err := s.handleShardMap(f.payload); err != nil {
+					return frame{}, err
+				}
+			case msgMigrateOffer:
+				if err := s.handleMigrateOffer(f.payload); err != nil {
+					return frame{}, err
+				}
+			case msgMigrateState:
+				if err := s.handleMigrateImport(f.payload); err != nil {
+					return frame{}, err
+				}
+			case msgMigrateAck:
+				if err := s.handleMigrateDirective(f.payload); err != nil {
 					return frame{}, err
 				}
 			case msgError:

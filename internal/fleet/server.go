@@ -1,10 +1,14 @@
 package fleet
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"facechange/internal/kview"
 	"facechange/internal/telemetry"
@@ -61,6 +65,10 @@ type Server struct {
 	mu    sync.Mutex
 	conns map[*serverConn]struct{}
 
+	// migrateReq numbers migration exchanges; replies route back to the
+	// waiting orchestration by this id.
+	migrateReq atomic.Uint64
+
 	// Counters (exposed on /metrics via WriteMetrics).
 	chunksServed  atomic.Uint64
 	chunkBytes    atomic.Uint64
@@ -69,6 +77,8 @@ type Server struct {
 	sessions      atomic.Uint64
 	relayBatches  atomic.Uint64
 	v1Sessions    atomic.Uint64
+	migrations    atomic.Uint64
+	migrateFails  atomic.Uint64
 }
 
 // NewServer creates a server.
@@ -161,6 +171,139 @@ func (s *Server) Nodes() int {
 	return len(s.conns)
 }
 
+// HasNode reports whether a node with the given ID has a live session on
+// this server — the shard plane uses it to locate migration endpoints.
+func (s *Server) HasNode(node string) bool { return s.connFor(node) != nil }
+
+// connFor finds the live session for a node (nil when not connected).
+func (s *Server) connFor(node string) *serverConn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		if c.nodeID == node {
+			return c
+		}
+	}
+	return nil
+}
+
+// MigrateResult summarizes one completed live migration.
+type MigrateResult struct {
+	App, Src, Dst string
+	// ImageBytes is the wire size of the canonical image — COW deltas,
+	// recovered set and bookkeeping only, never catalog chunks.
+	ImageBytes int
+	// DeltasApplied / DeltasSkipped count COW pages the target overlaid
+	// vs. dropped (pages its reassembled view does not cover).
+	DeltasApplied, DeltasSkipped int
+}
+
+// Migrate moves app's view state from node src to node dst through a
+// two-phase cutover: offer→checkpoint on the source, digest-verified
+// transfer, import on the target, then the commit directive back to the
+// source (which unloads) — or, on any failure or timeout past the
+// checkpoint, an abort directive (the source thaws, restoring its state
+// exactly). Both endpoints must be connected v2 sessions on this server;
+// cross-shard moves compose RequestExport/DeliverImport/SignalOutcome
+// across servers instead.
+func (s *Server) Migrate(app, src, dst string, timeout time.Duration) (*MigrateResult, error) {
+	if src == dst {
+		return nil, fmt.Errorf("fleet: migrate %q: source and target are both %q", app, src)
+	}
+	req, img, err := s.RequestExport(app, src, dst, timeout)
+	if err != nil {
+		s.migrateFails.Add(1)
+		return nil, err
+	}
+	applied, skipped, err := s.DeliverImport(req, app, dst, img, timeout)
+	if err != nil {
+		s.SignalOutcome(req, app, src, false, err.Error())
+		s.migrateFails.Add(1)
+		return nil, err
+	}
+	s.SignalOutcome(req, app, src, true, "")
+	s.migrations.Add(1)
+	s.logf("fleet: server: migrated %q %s→%s (%d image bytes, %d deltas applied, %d skipped)",
+		app, src, dst, len(img), applied, skipped)
+	return &MigrateResult{
+		App: app, Src: src, Dst: dst,
+		ImageBytes:    len(img),
+		DeltasApplied: int(applied),
+		DeltasSkipped: int(skipped),
+	}, nil
+}
+
+// RequestExport runs the checkpoint phase against the source node: push a
+// migrate offer, await the state reply, verify the wire digest pin. On
+// success the source holds the app frozen until SignalOutcome decides
+// commit or abort. The returned req correlates the rest of the exchange.
+func (s *Server) RequestExport(app, src, dst string, timeout time.Duration) (req uint64, img []byte, err error) {
+	c := s.connFor(src)
+	if c == nil {
+		return 0, nil, fmt.Errorf("fleet: migrate %q: source node %q not connected", app, src)
+	}
+	if c.proto < 2 {
+		return 0, nil, fmt.Errorf("fleet: migrate %q: source node %q negotiated protocol v1 (migration needs v2)", app, src)
+	}
+	req = s.migrateReq.Add(1)
+	f, err := c.roundTrip(req, msgMigrateOffer, encodeMigrateOffer(req, app, dst), timeout)
+	if err != nil {
+		return req, nil, fmt.Errorf("fleet: migrate %q: export from %q: %w", app, src, err)
+	}
+	if f.typ != msgMigrateState {
+		return req, nil, errProto("migrate %q: expected migrate-state from %q, got %s", app, src, msgName(f.typ))
+	}
+	_, digest, img, refusal, err := decodeMigrateState(f.payload)
+	if err != nil {
+		return req, nil, err
+	}
+	if refusal != "" {
+		return req, nil, fmt.Errorf("fleet: migrate %q: source %q refused: %s", app, src, refusal)
+	}
+	if sha256.Sum256(img) != digest {
+		return req, nil, errProto("migrate %q: image digest mismatch from source %q", app, src)
+	}
+	return req, img, nil
+}
+
+// DeliverImport runs the restore phase against the target node: push the
+// digest-pinned image, await the import verdict.
+func (s *Server) DeliverImport(req uint64, app, dst string, img []byte, timeout time.Duration) (applied, skipped uint32, err error) {
+	c := s.connFor(dst)
+	if c == nil {
+		return 0, 0, fmt.Errorf("fleet: migrate %q: target node %q not connected", app, dst)
+	}
+	if c.proto < 2 {
+		return 0, 0, fmt.Errorf("fleet: migrate %q: target node %q negotiated protocol v1 (migration needs v2)", app, dst)
+	}
+	f, err := c.roundTrip(req, msgMigrateState, encodeMigrateState(req, sha256.Sum256(img), img), timeout)
+	if err != nil {
+		return 0, 0, fmt.Errorf("fleet: migrate %q: import on %q: %w", app, dst, err)
+	}
+	if f.typ != msgMigrateAck {
+		return 0, 0, errProto("migrate %q: expected migrate-ack from %q, got %s", app, dst, msgName(f.typ))
+	}
+	_, _, ok, applied, skipped, detail, err := decodeMigrateAck(f.payload)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !ok {
+		return 0, 0, fmt.Errorf("fleet: migrate %q: target %q rejected import: %s", app, dst, detail)
+	}
+	return applied, skipped, nil
+}
+
+// SignalOutcome sends the source its commit (ok) or abort directive. Best
+// effort: if the source session is gone, its own teardown already thawed
+// any frozen state.
+func (s *Server) SignalOutcome(req uint64, app, src string, ok bool, detail string) {
+	c := s.connFor(src)
+	if c == nil || c.proto < 2 {
+		return
+	}
+	_ = c.write(msgMigrateAck, encodeMigrateAck(req, app, ok, 0, 0, detail))
+}
+
 // Serve accepts connections until the listener closes, handling each in
 // its own goroutine.
 func (s *Server) Serve(ln net.Listener) error {
@@ -181,7 +324,7 @@ func (s *Server) Serve(ln net.Listener) error {
 // closes the conn on exit.
 func (s *Server) ServeConn(conn net.Conn) {
 	s.sessions.Add(1)
-	c := &serverConn{srv: s, conn: conn, updates: make(chan uint64, 1)}
+	c := &serverConn{srv: s, conn: conn, updates: make(chan uint64, 1), pend: make(map[uint64]chan frame)}
 	defer conn.Close()
 
 	if err := c.handshake(); err != nil {
@@ -234,6 +377,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 	s.mu.Lock()
 	delete(s.conns, c)
 	s.mu.Unlock()
+	c.failPending()
 	close(c.updates)
 	pushers.Wait()
 	if err != nil {
@@ -256,6 +400,8 @@ func (s *Server) WriteMetrics(w *telemetry.Writer) {
 	w.Counter("facechange_fleet_telemetry_dup_events_total", "re-sent telemetry events deduplicated", float64(s.seqs.Dups()))
 	w.Counter("facechange_fleet_telemetry_gap_events_total", "telemetry sequence holes (events lost upstream)", float64(s.seqs.Gaps()))
 	w.Counter("facechange_fleet_v1_sessions_total", "sessions negotiated down to protocol v1", float64(s.v1Sessions.Load()))
+	w.Counter("facechange_fleet_migrations_total", "live migrations committed", float64(s.migrations.Load()))
+	w.Counter("facechange_fleet_migrate_failures_total", "live migrations aborted", float64(s.migrateFails.Load()))
 }
 
 // serverConn is one node session.
@@ -268,6 +414,58 @@ type serverConn struct {
 
 	writeMu sync.Mutex
 	updates chan uint64
+
+	// pend routes migrate replies (state, ack) back to the orchestration
+	// goroutine waiting in roundTrip, keyed by exchange id. The read loop
+	// is the conn's only reader, so request/reply must thread through it.
+	pendMu     sync.Mutex
+	pend       map[uint64]chan frame
+	pendClosed bool
+}
+
+// roundTrip pushes one migrate frame and waits for the correlated reply,
+// failing on timeout or session death.
+func (c *serverConn) roundTrip(req uint64, typ byte, payload []byte, timeout time.Duration) (frame, error) {
+	ch := make(chan frame, 1)
+	c.pendMu.Lock()
+	if c.pendClosed {
+		c.pendMu.Unlock()
+		return frame{}, fmt.Errorf("session with node %q closed", c.nodeID)
+	}
+	c.pend[req] = ch
+	c.pendMu.Unlock()
+	defer func() {
+		c.pendMu.Lock()
+		delete(c.pend, req)
+		c.pendMu.Unlock()
+	}()
+	if err := c.write(typ, payload); err != nil {
+		return frame{}, err
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			return frame{}, fmt.Errorf("session with node %q died mid-exchange", c.nodeID)
+		}
+		return f, nil
+	case <-t.C:
+		return frame{}, fmt.Errorf("timeout waiting for reply to %s from node %q", msgName(typ), c.nodeID)
+	}
+}
+
+// failPending closes every in-flight migrate exchange on session
+// teardown, so orchestration waiting on a dead node fails fast instead of
+// riding out the timeout.
+func (c *serverConn) failPending() {
+	c.pendMu.Lock()
+	c.pendClosed = true
+	for req, ch := range c.pend {
+		close(ch)
+		delete(c.pend, req)
+	}
+	c.pendMu.Unlock()
 }
 
 // write sends one frame under the connection's write lock (responses and
@@ -427,6 +625,39 @@ func (c *serverConn) readLoop() error {
 			if c.srv.hub != nil {
 				telemetry.ReplayInto(c.srv.hub, c.nodeID, evs)
 			}
+		case msgMigrateState, msgMigrateAck:
+			// Replies to server-initiated migrate pushes: route to the
+			// orchestration waiting on the exchange id. A v1 client
+			// hand-speaking one gets a graceful, non-terminal refusal.
+			if c.proto < 2 {
+				if werr := c.write(msgError, appendStr(nil, "migration requires protocol v2 (session continues)")); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if len(f.payload) < 8 {
+				return errProto("truncated %s from node %q", msgName(f.typ), c.nodeID)
+			}
+			req := binary.BigEndian.Uint64(f.payload)
+			c.pendMu.Lock()
+			ch := c.pend[req]
+			delete(c.pend, req)
+			c.pendMu.Unlock()
+			if ch != nil {
+				ch <- f
+			}
+			// No waiter: a stale reply after the orchestration timed out —
+			// dropped; the source's abort directive handles the rest.
+		case msgMigrateOffer:
+			// Offers only flow server→node. A v1 client probing gets the
+			// same graceful refusal; a v2 client sending one is broken.
+			if c.proto < 2 {
+				if werr := c.write(msgError, appendStr(nil, "migration requires protocol v2 (session continues)")); werr != nil {
+					return werr
+				}
+				continue
+			}
+			return errProto("unexpected migrate-offer from node %q", c.nodeID)
 		case msgRelay:
 			// Shard→aggregator forwarding: a peer shard relays one of its
 			// nodes' batches, origin identity and sequence preserved.

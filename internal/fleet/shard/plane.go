@@ -19,7 +19,10 @@ func errShard(format string, args ...any) error {
 // PlaneConfig parameterizes a sharded control plane.
 type PlaneConfig struct {
 	// Shards lists the members. IDs must be unique; VNodes weights the
-	// ring (DefaultVNodes when 0).
+	// ring (DefaultVNodes when 0). With a Transport, Addr is the member's
+	// listen address ("127.0.0.1:0" when empty; the bound address is
+	// written back and gossiped — the ring hashes IDs only, so ephemeral
+	// ports never move ownership).
 	Shards []fleet.ShardInfo
 	// Aggregator is the shard designated as the telemetry aggregation
 	// point (first shard by ID when empty). It cannot be killed.
@@ -28,8 +31,43 @@ type PlaneConfig struct {
 	// plane-owned hub (started, closed with the plane) is created when
 	// nil.
 	Hub *telemetry.Hub
+	// Transport, when non-nil, carries every shard-to-shard and
+	// node-to-shard connection over real listeners and dials (TCPTransport
+	// for cross-host members) instead of the default in-process net.Pipe.
+	Transport Transport
 	// Logf, when non-nil, receives plane lifecycle lines.
 	Logf func(format string, args ...any)
+}
+
+// Transport is the plane's pluggable connection fabric: how a member
+// accepts sessions and how anyone (peers, external nodes) reaches it by
+// the address it gossips. The in-process default needs neither; a
+// cross-host plane plugs TCPTransport (or anything socket-like) in.
+type Transport interface {
+	Listen(shardID, addr string) (net.Listener, error)
+	Dial(addr string) (net.Conn, error)
+}
+
+// TCPTransport runs the plane over TCP sockets, so members can live on
+// different hosts. A killed member closes its listener and sessions, and
+// refused dials are exactly the failover signal ring walks expect.
+type TCPTransport struct {
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+}
+
+// Listen binds the member's listener.
+func (t TCPTransport) Listen(_, addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// Dial connects to a member's gossiped address.
+func (t TCPTransport) Dial(addr string) (net.Conn, error) {
+	d := t.DialTimeout
+	if d <= 0 {
+		d = 2 * time.Second
+	}
+	return net.DialTimeout("tcp", addr, d)
 }
 
 // Plane is an in-process sharded control plane: N fleet.Servers, one per
@@ -48,10 +86,11 @@ type PlaneConfig struct {
 // successor, and the plane re-publishes the catalog onto the new ring —
 // membership changes move ownership, never content.
 type Plane struct {
-	logf   func(string, ...any)
-	hub    *telemetry.Hub
-	ownHub bool
-	agg    string
+	logf      func(string, ...any)
+	hub       *telemetry.Hub
+	ownHub    bool
+	agg       string
+	transport Transport // nil: in-process net.Pipe fabric
 
 	// pubMu serializes publishes (churn, kill re-homing): the last call
 	// to Publish must also be the last write into the owning catalog, or
@@ -81,6 +120,7 @@ func NewPlane(cfg PlaneConfig) (*Plane, error) {
 	}
 	p := &Plane{
 		logf:      cfg.Logf,
+		transport: cfg.Transport,
 		members:   make(map[string]*Member, len(cfg.Shards)),
 		killed:    make(map[string]bool),
 		epoch:     1,
@@ -116,7 +156,15 @@ func NewPlane(cfg PlaneConfig) (*Plane, error) {
 	}
 	p.ring = BuildRing(p.mapLocked())
 	for _, id := range ids {
-		p.members[id].init()
+		if err := p.members[id].init(); err != nil {
+			for _, mid := range ids {
+				p.members[mid].shutdown()
+			}
+			if p.ownHub {
+				p.hub.Close()
+			}
+			return nil, err
+		}
 	}
 	for _, id := range ids {
 		p.members[id].start()
@@ -181,9 +229,11 @@ func (p *Plane) Alive() []string {
 	return out
 }
 
-// DialShard connects to a live shard member in-process (net.Pipe). It is
-// the dial primitive Homing and the mirror mesh ride; a killed shard
-// refuses, which is exactly the signal that advances a ring walk.
+// DialShard connects to a live shard member — in-process (net.Pipe) by
+// default, or through the plane's Transport by the member's gossiped
+// address. It is the dial primitive Homing and the mirror mesh ride; a
+// killed shard refuses (its listener is closed), which is exactly the
+// signal that advances a ring walk.
 func (p *Plane) DialShard(id string) (net.Conn, error) {
 	p.mu.Lock()
 	m, ok := p.members[id]
@@ -194,6 +244,9 @@ func (p *Plane) DialShard(id string) (net.Conn, error) {
 	}
 	if dead {
 		return nil, errShard("shard %q is down", id)
+	}
+	if p.transport != nil {
+		return p.transport.Dial(m.info.Addr)
 	}
 	return m.dialIn()
 }
@@ -378,6 +431,82 @@ func (p *Plane) Kill(id string) error {
 	return nil
 }
 
+// MemberWithNode returns the live member holding a control-plane session
+// for the given node (nil when the node is not connected anywhere) — how
+// migration locates its endpoints on a sharded plane, where each node
+// homes by its own ring position.
+func (p *Plane) MemberWithNode(node string) *Member {
+	for _, id := range p.Alive() {
+		if m, ok := p.Member(id); ok && m.srv.HasNode(node) {
+			return m
+		}
+	}
+	return nil
+}
+
+// Migrate moves app's view state from node src to node dst, wherever on
+// the plane their sessions live: the export phase runs on the source's
+// shard, the import on the target's, and the commit-or-abort directive
+// goes back through the source's shard — the same two-phase cutover
+// fleet.Server.Migrate runs single-shard, composed across members.
+func (p *Plane) Migrate(app, src, dst string, timeout time.Duration) (*fleet.MigrateResult, error) {
+	if src == dst {
+		return nil, errShard("migrate %q: source and target are both %q", app, src)
+	}
+	srcM := p.MemberWithNode(src)
+	if srcM == nil {
+		return nil, errShard("migrate %q: source node %q has no session on any live shard", app, src)
+	}
+	dstM := p.MemberWithNode(dst)
+	if dstM == nil {
+		return nil, errShard("migrate %q: target node %q has no session on any live shard", app, dst)
+	}
+	if srcM == dstM {
+		return srcM.srv.Migrate(app, src, dst, timeout)
+	}
+	req, img, err := srcM.srv.RequestExport(app, src, dst, timeout)
+	if err != nil {
+		return nil, err
+	}
+	applied, skipped, err := dstM.srv.DeliverImport(req, app, dst, img, timeout)
+	if err != nil {
+		srcM.srv.SignalOutcome(req, app, src, false, err.Error())
+		return nil, err
+	}
+	srcM.srv.SignalOutcome(req, app, src, true, "")
+	p.logf("shard: migrated %q %s(%s)→%s(%s), %d image bytes", app, src, srcM.ID(), dst, dstM.ID(), len(img))
+	return &fleet.MigrateResult{
+		App: app, Src: src, Dst: dst,
+		ImageBytes:    len(img),
+		DeltasApplied: int(applied),
+		DeltasSkipped: int(skipped),
+	}, nil
+}
+
+// PickMigrateTarget chooses among candidate target nodes the one whose
+// ring home coincides with the view's owner shard — the move that lands
+// the app's telemetry on the shard already owning its view's catalog
+// entry. Candidates are considered in sorted order so selection is
+// deterministic; when none is ring-aligned the smallest candidate is
+// returned with aligned=false.
+func (p *Plane) PickMigrateTarget(viewDigest fleet.Hash, candidates []string) (target string, aligned bool) {
+	if len(candidates) == 0 {
+		return "", false
+	}
+	sorted := append([]string(nil), candidates...)
+	sort.Strings(sorted)
+	p.mu.Lock()
+	ring := p.ring
+	p.mu.Unlock()
+	owner := ring.OwnerDigest(viewDigest)
+	for _, c := range sorted {
+		if ring.Owner(c) == owner {
+			return c, true
+		}
+	}
+	return sorted[0], false
+}
+
 // Close shuts the whole plane down.
 func (p *Plane) Close() {
 	p.mu.Lock()
@@ -415,20 +544,36 @@ type Member struct {
 	killed  bool
 	conns   map[net.Conn]struct{}
 	mirrors map[string]*fleet.Node
+	ln      net.Listener // transport fabric only; nil in-process
 
 	stop     chan struct{}
 	wg       sync.WaitGroup
 	stopOnce sync.Once
 }
 
-// init builds the member's server (phase one: every member must exist
+// init builds the member's server (phase one: every member must exist —
+// and, on a transport fabric, be listening at its gossiped address —
 // before any mirror dials a peer).
-func (m *Member) init() {
+func (m *Member) init() error {
 	p := m.plane
 	m.store = fleet.NewChunkStore()
 	m.conns = make(map[net.Conn]struct{})
 	m.mirrors = make(map[string]*fleet.Node)
 	m.stop = make(chan struct{})
+	if p.transport != nil {
+		addr := m.info.Addr
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		ln, err := p.transport.Listen(m.info.ID, addr)
+		if err != nil {
+			return errShard("shard %q listen on %q: %w", m.info.ID, addr, err)
+		}
+		m.ln = ln
+		// The bound address (ephemeral port resolved) is what peers and
+		// nodes gossip and dial.
+		m.info.Addr = ln.Addr().String()
+	}
 	hub := p.hub
 	var relay fleet.RelayFunc
 	if m.info.ID != p.agg {
@@ -447,11 +592,16 @@ func (m *Member) init() {
 		Relay:    relay,
 		Logf:     p.logf,
 	})
+	return nil
 }
 
 // start wires the member into the mesh (phase two).
 func (m *Member) start() {
 	p := m.plane
+	if m.ln != nil {
+		m.wg.Add(1)
+		go m.acceptLoop()
+	}
 	for id := range p.members {
 		if id == m.info.ID {
 			continue
@@ -462,6 +612,35 @@ func (m *Member) start() {
 	if m.queue != nil {
 		m.wg.Add(1)
 		go m.relayLoop()
+	}
+}
+
+// acceptLoop serves transport sessions until the listener closes,
+// tracking each conn so shutdown can sever live sessions, not just stop
+// accepting new ones.
+func (m *Member) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		c, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		m.mu.Lock()
+		if m.killed {
+			m.mu.Unlock()
+			c.Close()
+			continue
+		}
+		m.conns[c] = struct{}{}
+		m.wg.Add(1)
+		m.mu.Unlock()
+		go func() {
+			defer m.wg.Done()
+			m.srv.ServeConn(c)
+			m.mu.Lock()
+			delete(m.conns, c)
+			m.mu.Unlock()
+		}()
 	}
 }
 
@@ -602,6 +781,9 @@ func (m *Member) shutdown() {
 		m.mirrors = make(map[string]*fleet.Node)
 		m.mu.Unlock()
 		close(m.stop)
+		if m.ln != nil {
+			m.ln.Close()
+		}
 		for _, n := range mirrors {
 			n.Close()
 		}

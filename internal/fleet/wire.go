@@ -30,6 +30,14 @@ const maxFrame = 16 << 20
 // peek/commit span the whole shard→aggregator path), and relay
 // (shard→aggregator forwarding of a node batch, origin identity and
 // sequence preserved). v1 sessions never see any of the three.
+//
+// Live migration (also v2-only) adds three frames: migrateOffer
+// (server→source node: checkpoint an app), migrateState (source→server:
+// the canonical image, digest-pinned; and server→target: deliver it),
+// migrateAck (target→server: import verdict; server→source: the
+// commit-or-abort directive). A v1 session never sees a migrate push,
+// and a v1 client hand-speaking a migrate frame gets a non-terminal
+// msgError refusal — the session itself survives.
 const (
 	msgHello        = 0x01
 	msgHelloAck     = 0x02
@@ -42,6 +50,9 @@ const (
 	msgShardMap     = 0x09
 	msgTelemetryAck = 0x0a
 	msgRelay        = 0x0b
+	msgMigrateOffer = 0x0c
+	msgMigrateState = 0x0d
+	msgMigrateAck   = 0x0e
 	msgError        = 0x3f
 )
 
@@ -69,6 +80,12 @@ func msgName(t byte) string {
 		return "telemetry-ack"
 	case msgRelay:
 		return "relay"
+	case msgMigrateOffer:
+		return "migrate-offer"
+	case msgMigrateState:
+		return "migrate-state"
+	case msgMigrateAck:
+		return "migrate-ack"
 	case msgError:
 		return "error"
 	}
@@ -395,4 +412,137 @@ func decodeRelay(p []byte) (node string, first uint64, batch []byte, err error) 
 		return "", 0, nil, err
 	}
 	return node, first, r.b, nil
+}
+
+// migrateOfferPayload: u64 req | str app | str dstNode — the server asks
+// the source node to checkpoint app for migration to dstNode. req
+// correlates the reply frames of one migration exchange.
+func encodeMigrateOffer(req uint64, app, dst string) []byte {
+	b := appendU64(nil, req)
+	b = appendStr(b, app)
+	return appendStr(b, dst)
+}
+
+func decodeMigrateOffer(p []byte) (req uint64, app, dst string, err error) {
+	r := &wireReader{b: p}
+	if req, err = r.u64(); err != nil {
+		return 0, "", "", err
+	}
+	if app, err = r.str(); err != nil {
+		return 0, "", "", err
+	}
+	if dst, err = r.str(); err != nil {
+		return 0, "", "", err
+	}
+	return req, app, dst, r.end()
+}
+
+// migrateStatePayload: u64 req | u8 ok | hash imageDigest | u32 len |
+// image (ok=1), or u64 req | u8 0 | str err (ok=0 refusal). The digest
+// is sha256 over the image bytes; the server verifies it before
+// forwarding — the wire-level pin on top of the image's own canonical
+// encoding.
+func encodeMigrateState(req uint64, digest Hash, img []byte) []byte {
+	b := make([]byte, 0, 8+1+len(digest)+4+len(img))
+	b = appendU64(b, req)
+	b = append(b, 1)
+	b = append(b, digest[:]...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(img)))
+	return append(b, img...)
+}
+
+func encodeMigrateRefuse(req uint64, errMsg string) []byte {
+	b := appendU64(nil, req)
+	b = append(b, 0)
+	if len(errMsg) > maxWireStr {
+		errMsg = errMsg[:maxWireStr]
+	}
+	return appendStr(b, errMsg)
+}
+
+func decodeMigrateState(p []byte) (req uint64, digest Hash, img []byte, refusal string, err error) {
+	r := &wireReader{b: p}
+	if req, err = r.u64(); err != nil {
+		return 0, Hash{}, nil, "", err
+	}
+	var ok byte
+	if len(r.b) < 1 {
+		return 0, Hash{}, nil, "", errProto("truncated migrate-state")
+	}
+	ok, r.b = r.b[0], r.b[1:]
+	switch ok {
+	case 0:
+		if refusal, err = r.str(); err != nil {
+			return 0, Hash{}, nil, "", err
+		}
+		if refusal == "" {
+			refusal = "migration refused"
+		}
+		return req, Hash{}, nil, refusal, r.end()
+	case 1:
+		if digest, err = r.hash(); err != nil {
+			return 0, Hash{}, nil, "", err
+		}
+		n, err := r.u32()
+		if err != nil {
+			return 0, Hash{}, nil, "", err
+		}
+		if img, err = r.bytes(int(n)); err != nil {
+			return 0, Hash{}, nil, "", err
+		}
+		return req, digest, img, "", r.end()
+	}
+	return 0, Hash{}, nil, "", errProto("bad migrate-state flag %#x", ok)
+}
+
+// migrateAckPayload: u64 req | str app | u8 ok | u32 applied |
+// u32 skipped | str detail. Target→server it reports the import verdict
+// (applied/skipped count COW deltas); server→source ok is the commit
+// directive and ok=0 the abort directive, detail carrying the reason.
+func encodeMigrateAck(req uint64, app string, ok bool, applied, skipped uint32, detail string) []byte {
+	b := appendU64(nil, req)
+	b = appendStr(b, app)
+	if ok {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.BigEndian.AppendUint32(b, applied)
+	b = binary.BigEndian.AppendUint32(b, skipped)
+	if len(detail) > maxWireStr {
+		detail = detail[:maxWireStr]
+	}
+	return appendStr(b, detail)
+}
+
+func decodeMigrateAck(p []byte) (req uint64, app string, ok bool, applied, skipped uint32, detail string, err error) {
+	r := &wireReader{b: p}
+	if req, err = r.u64(); err != nil {
+		return
+	}
+	if app, err = r.str(); err != nil {
+		return
+	}
+	var f byte
+	if len(r.b) < 1 {
+		err = errProto("truncated migrate-ack")
+		return
+	}
+	f, r.b = r.b[0], r.b[1:]
+	if f > 1 {
+		err = errProto("bad migrate-ack flag %#x", f)
+		return
+	}
+	ok = f == 1
+	if applied, err = r.u32(); err != nil {
+		return
+	}
+	if skipped, err = r.u32(); err != nil {
+		return
+	}
+	if detail, err = r.str(); err != nil {
+		return
+	}
+	err = r.end()
+	return
 }

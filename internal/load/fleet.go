@@ -2,6 +2,7 @@ package load
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"facechange/internal/core"
 	"facechange/internal/fleet"
 	fleetshard "facechange/internal/fleet/shard"
+	"facechange/internal/migrate"
 	"facechange/internal/telemetry"
 )
 
@@ -58,9 +60,10 @@ func runFleet(cfg *RunConfig) (*Report, error) {
 		onMap func(fleet.ShardMap)
 	}
 	var (
-		wire    func(nodeID string) nodeWiring
-		digest  string
-		pending func() int // undelivered telemetry beyond the node buffers
+		wire       func(nodeID string) nodeWiring
+		digest     string
+		pending    func() int // undelivered telemetry beyond the node buffers
+		migrateVia func(app, src, dst string) (*fleet.MigrateResult, error)
 	)
 	if cfg.Shards > 1 {
 		infos := make([]fleet.ShardInfo, cfg.Shards)
@@ -94,6 +97,9 @@ func runFleet(cfg *RunConfig) (*Report, error) {
 			}
 			return n
 		}
+		migrateVia = func(app, src, dst string) (*fleet.MigrateResult, error) {
+			return plane.Migrate(app, src, dst, 10*time.Second)
+		}
 	} else {
 		srv := fleet.NewServer(fleet.ServerConfig{Hub: hub, Logf: cfg.Logf})
 		for _, spec := range specs {
@@ -109,6 +115,9 @@ func runFleet(cfg *RunConfig) (*Report, error) {
 		}
 		wire = func(string) nodeWiring { return nodeWiring{dial: dial} }
 		pending = func() int { return 0 }
+		migrateVia = func(app, src, dst string) (*fleet.MigrateResult, error) {
+			return srv.Migrate(app, src, dst, 10*time.Second)
+		}
 	}
 
 	store := fleet.NewChunkStore()
@@ -123,8 +132,9 @@ func runFleet(cfg *RunConfig) (*Report, error) {
 	opts.SharedCore = cfg.SharedCore
 
 	type member struct {
-		g    *rig
-		node *fleet.Node
+		g     *rig
+		node  *fleet.Node
+		agent *migrate.Agent
 	}
 	members := make([]member, 0, cfg.Runtimes)
 	flt := &FleetReport{Nodes: cfg.Runtimes, CatalogDigest: digest, Converged: true}
@@ -147,12 +157,14 @@ func runFleet(cfg *RunConfig) (*Report, error) {
 		}
 		id := fmt.Sprintf("load-%d", i)
 		w := wire(id)
+		agent := migrate.NewAgent(vm.Runtime, nil)
 		n := fleet.NewNode(fleet.NodeConfig{
 			ID:            id,
 			Dial:          w.dial,
 			OnShardMap:    w.onMap,
 			Store:         store,
 			Runtime:       vm.Runtime,
+			Migrate:       agent,
 			FlushInterval: 5 * time.Millisecond,
 			Logf:          cfg.Logf,
 		})
@@ -180,26 +192,101 @@ func runFleet(cfg *RunConfig) (*Report, error) {
 			g.addApp(spec, idx)
 		}
 		cfg.Logf("load: node %d joined (%d bytes in)", i, n.Status().BytesIn)
-		members = append(members, member{g: g, node: n})
+		members = append(members, member{g: g, node: n, agent: agent})
 	}
 
-	shards := shard(cfg.Trace, cfg.Runtimes)
-	results := make([]*runtimeResult, cfg.Runtimes)
-	errs := make(chan error, cfg.Runtimes)
-	for i, m := range members {
-		go func(i int, m member) {
-			if err := m.g.replay(shards[i]); err != nil {
-				errs <- fmt.Errorf("load: node %d: %w", i, err)
-				return
-			}
-			results[i] = m.g.res
-			errs <- nil
-		}(i, m)
+	// assign maps each app to the node currently hosting it; migration
+	// waves rewrite it mid-replay. With MigrateRate zero this reduces to
+	// the static app-mod-N sharding and a single round, byte-identical to
+	// the plain fleet replay.
+	assign := make([]int, len(specs))
+	for i := range assign {
+		assign[i] = specs[i].idx % cfg.Runtimes
 	}
-	for range members {
-		if err := <-errs; err != nil {
+	waves := 0
+	if cfg.MigrateRate > 0 {
+		if cfg.Runtimes < 2 {
+			return nil, fmt.Errorf("load: -migrate-rate needs at least 2 fleet nodes after clamping")
+		}
+		waves = int(cfg.MigrateRate * float64(len(cfg.Trace.Events)) / 1000)
+		if waves < 1 {
+			waves = 1
+		}
+	}
+
+	replayRound := func(events []Event) error {
+		parts := make([][]Event, len(members))
+		for _, ev := range events {
+			n := assign[int(ev.App)]
+			parts[n] = append(parts[n], ev)
+		}
+		errs := make(chan error, len(members))
+		for i, m := range members {
+			go func(i int, m member) {
+				if err := m.g.replay(parts[i]); err != nil {
+					errs <- fmt.Errorf("load: node %d: %w", i, err)
+					return
+				}
+				errs <- nil
+			}(i, m)
+		}
+		var first error
+		for range members {
+			if err := <-errs; err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+
+	// The migration stream is seeded from the trace, so every run replays
+	// the same moves at the same barriers.
+	mrng := rand.New(rand.NewSource(cfg.Trace.Cfg.Seed ^ 0x6D696772617465))
+	events := cfg.Trace.Events
+	for w := 0; w <= waves; w++ {
+		lo, hi := len(events)*w/(waves+1), len(events)*(w+1)/(waves+1)
+		if err := replayRound(events[lo:hi]); err != nil {
 			return nil, err
 		}
+		if w == waves {
+			break
+		}
+		appIdx := mrng.Intn(len(specs))
+		src := assign[appIdx]
+		dst := (src + 1 + mrng.Intn(cfg.Runtimes-1)) % cfg.Runtimes
+		spec := specs[appIdx]
+		mr, err := migrateVia(spec.name, fmt.Sprintf("load-%d", src), fmt.Sprintf("load-%d", dst))
+		if err != nil {
+			return nil, fmt.Errorf("load: migrate %s load-%d>load-%d: %w", spec.name, src, dst, err)
+		}
+		// The commit directive is delivered asynchronously; wait for the
+		// source to actually tear the view down so the final cache numbers
+		// are deterministic.
+		for deadline := time.Now().Add(5 * time.Second); members[src].agent.Frozen(spec.name); {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("load: migrate %s: source commit never landed", spec.name)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		st := members[src].g.apps[uint8(appIdx)]
+		delete(members[src].g.apps, uint8(appIdx))
+		newIdx := members[dst].g.rt.ViewIndex(spec.name)
+		if newIdx == core.FullView {
+			return nil, fmt.Errorf("load: migrate %s: view not bound on load-%d after import", spec.name, dst)
+		}
+		st.viewIdx = newIdx
+		members[dst].g.apps[uint8(appIdx)] = st
+		assign[appIdx] = dst
+		flt.Migrations++
+		flt.MigrateBytes += uint64(mr.ImageBytes)
+		flt.DeltasApplied += uint64(mr.DeltasApplied)
+		flt.DeltasSkipped += uint64(mr.DeltasSkipped)
+		cfg.Logf("load: migrated %s load-%d>load-%d (%dB image, %d deltas applied, %d skipped)",
+			spec.name, src, dst, mr.ImageBytes, mr.DeltasApplied, mr.DeltasSkipped)
+	}
+	results := make([]*runtimeResult, cfg.Runtimes)
+	for i, m := range members {
+		results[i] = m.g.res
 	}
 
 	// Let the relay buffers — and, on a plane, the shard relay queues —

@@ -32,6 +32,9 @@ type ConfigReport struct {
 	SharedCore bool `json:"sharedcore,omitempty"`
 	Nodes      int  `json:"nodes,omitempty"`
 	Shards     int  `json:"shards,omitempty"`
+	// MigrateRate marks a live-migration run (migrations per 1000 events);
+	// like SharedCore, folded into the digest only when set.
+	MigrateRate float64 `json:"migrate_rate,omitempty"`
 }
 
 // OpLatency is the aggregate charged-cycle latency, overall and split by
@@ -94,6 +97,13 @@ type FleetReport struct {
 	Converged     bool     `json:"converged"`
 	JoinBytes     []uint64 `json:"join_bytes"`
 	RelayedEvents uint64   `json:"relayed_events"`
+	// Migrations counts completed live migrations; MigrateBytes totals the
+	// wire images (deltas and metadata only — catalog chunks never travel),
+	// and DeltasApplied/DeltasSkipped total the COW pages landed on targets.
+	Migrations    int    `json:"migrations,omitempty"`
+	MigrateBytes  uint64 `json:"migrate_bytes,omitempty"`
+	DeltasApplied uint64 `json:"deltas_applied,omitempty"`
+	DeltasSkipped uint64 `json:"deltas_skipped,omitempty"`
 }
 
 // Report is the machine-readable run result (BENCH_load.json).
@@ -124,7 +134,7 @@ func assemble(cfg *RunConfig, specs []*appSpec, results []*runtimeResult, fleet 
 			CPUs: tc.CPUs, Arrival: tc.Arrival, Rate: tc.Rate, Think: tc.Think,
 			Shape: tc.Shape, Runtimes: cfg.Runtimes, Legacy: cfg.Legacy,
 			Profile: cfg.Profile, SharedCore: cfg.SharedCore, Nodes: cfg.Nodes,
-			Shards: cfg.Shards,
+			Shards: cfg.Shards, MigrateRate: cfg.MigrateRate,
 		},
 		TraceDigest: cfg.Trace.DigestString(),
 		Fleet:       fleet,
@@ -175,14 +185,21 @@ func assemble(cfg *RunConfig, specs []*appSpec, results []*runtimeResult, fleet 
 	rep.Telemetry = sink.Stats()
 
 	for _, spec := range specs {
-		r := results[spec.idx%len(results)]
 		ar := AppReport{App: spec.name, Share: cfg.Trace.Shares[spec.idx]}
-		if a, ok := r.apps[spec.idx]; ok {
-			ar.Events = a.events
-			ar.WarmHits = a.warm
-			ar.Switch = a.sw.Summarize()
-			ar.Recovery = a.rec.Summarize()
+		// Under live migration an app's numbers accumulate on every node
+		// that hosted it; merge across runtimes (a no-op for static runs,
+		// where each app lives on exactly one).
+		var asw, arec stats.Hist
+		for _, r := range results {
+			if a, ok := r.apps[spec.idx]; ok {
+				ar.Events += a.events
+				ar.WarmHits += a.warm
+				asw.Merge(&a.sw)
+				arec.Merge(&a.rec)
+			}
 		}
+		ar.Switch = asw.Summarize()
+		ar.Recovery = arec.Summarize()
 		rep.Apps = append(rep.Apps, ar)
 	}
 	rep.ReportDigest = rep.digestString()
@@ -253,6 +270,16 @@ func (r *Report) digest() uint64 {
 		h.byte(1)
 		h.u64(r.Counters.ElidedSwitches)
 		h.u64(r.Counters.MergedViewLoads)
+	}
+	if r.Config.MigrateRate > 0 && r.Fleet != nil {
+		// Same contract as SharedCore: live-migration runs fold the move
+		// ledger; every other mode's digest is untouched.
+		h.byte(2)
+		h.u64(math.Float64bits(r.Config.MigrateRate))
+		h.u64(uint64(r.Fleet.Migrations))
+		h.u64(r.Fleet.MigrateBytes)
+		h.u64(r.Fleet.DeltasApplied)
+		h.u64(r.Fleet.DeltasSkipped)
 	}
 	return uint64(h)
 }
@@ -326,6 +353,10 @@ func (r *Report) Format() string {
 		}
 		fmt.Fprintf(&b, "fleet: %d nodes%s, catalog %s, converged=%v, %d telemetry events relayed\n",
 			r.Fleet.Nodes, topo, r.Fleet.CatalogDigest, r.Fleet.Converged, r.Fleet.RelayedEvents)
+		if r.Fleet.Migrations > 0 {
+			fmt.Fprintf(&b, "migrate: %d live migrations, %dB shipped (deltas only), %d deltas applied, %d skipped\n",
+				r.Fleet.Migrations, r.Fleet.MigrateBytes, r.Fleet.DeltasApplied, r.Fleet.DeltasSkipped)
+		}
 	}
 	for _, s := range r.SLO {
 		verdict := "PASS"

@@ -46,6 +46,14 @@ type RunConfig struct {
 	// The replay itself is identical, so the report digest matches the
 	// single-server fleet run for the same trace.
 	Shards int
+	// MigrateRate, in fleet mode, live-migrates applications between nodes
+	// mid-replay: per 1000 trace events, this many migrations fire at
+	// evenly spaced barriers, each moving one deterministically chosen app
+	// through the real control-plane migration path (freeze, image
+	// transfer, restore, commit); the app's remaining events then replay on
+	// its new node with its warm recovery state intact. Folded into the
+	// report digest only when set.
+	MigrateRate float64
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -65,6 +73,9 @@ func (c *RunConfig) defaults() error {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.MigrateRate > 0 && c.Nodes <= 1 {
+		return fmt.Errorf("load: -migrate-rate needs fleet mode with at least 2 nodes")
 	}
 	return nil
 }

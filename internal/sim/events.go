@@ -40,6 +40,13 @@ const (
 	// EvToggle disables and re-enables the runtime (Section III-B4's
 	// hot-unplug of the whole mechanism).
 	EvToggle
+	// EvMigrate live-migrates a loaded view to the simulator's target
+	// runtime through the canonical image codec: freeze, export, encode,
+	// decode, restore, commit — or thaw on the scripted abort path. The
+	// applier asserts the migration invariants: recovered-span fidelity on
+	// the target, no delta lost (applied+skipped accounts for every one)
+	// and cache refcount balance after the source teardown.
+	EvMigrate
 
 	numKinds
 )
@@ -47,6 +54,7 @@ const (
 var kindNames = [numKinds]string{
 	"ctxswitch", "resume", "ud2", "loadview", "unloadview",
 	"modload", "modhide", "cachepressure", "poolprofile", "toggle",
+	"migrate",
 }
 
 func (k Kind) String() string {
@@ -87,6 +95,24 @@ var churnWeights = [numKinds]int{
 	EvToggle:        2,
 }
 
+// migrateWeights folds a steady stream of live migrations into the default
+// mix: views freeze, export through the canonical image codec, restore on
+// the target runtime and tear down on the source while ordinary switch and
+// recovery traffic keeps hitting both ends of the move.
+var migrateWeights = [numKinds]int{
+	EvCtxSwitch:     28,
+	EvResume:        10,
+	EvUD2:           18,
+	EvLoadView:      12,
+	EvUnloadView:    6,
+	EvModLoad:       2,
+	EvModHide:       2,
+	EvCachePressure: 4,
+	EvPoolProfile:   2,
+	EvToggle:        1,
+	EvMigrate:       8,
+}
+
 // mixWeights resolves a Config.Mix name.
 func mixWeights(mix string) ([numKinds]int, error) {
 	switch mix {
@@ -94,8 +120,10 @@ func mixWeights(mix string) ([numKinds]int, error) {
 		return defaultWeights, nil
 	case "churn":
 		return churnWeights, nil
+	case "migrate":
+		return migrateWeights, nil
 	default:
-		return [numKinds]int{}, fmt.Errorf("sim: unknown event mix %q (want default or churn)", mix)
+		return [numKinds]int{}, fmt.Errorf("sim: unknown event mix %q (want default, churn or migrate)", mix)
 	}
 }
 
@@ -178,6 +206,8 @@ func (s *Simulator) apply(ev Event) error {
 		return s.applyPoolProfile(ev)
 	case EvToggle:
 		return s.applyToggle()
+	case EvMigrate:
+		return s.applyMigrate(ev)
 	}
 	return nil
 }

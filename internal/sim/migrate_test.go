@@ -1,0 +1,57 @@
+package sim
+
+import "testing"
+
+// TestMigrateMixExercisesBothOutcomes: the migrate mix interleaves live
+// migrations with the regular switch/recover churn, and in a long enough
+// run both outcomes occur — committed moves onto the target runtime and
+// scripted aborts that thaw the source. The per-step invariants (exact
+// telemetry counts across the stitched streams, switch-state consistency
+// on both runtimes) hold throughout, or Run returns an error.
+func TestMigrateMixExercisesBothOutcomes(t *testing.T) {
+	res, err := Run(Config{Steps: 8000, Mix: "migrate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations == 0 {
+		t.Errorf("no migration completed in %d steps", res.Steps)
+	}
+	if res.MigrateAborts == 0 {
+		t.Errorf("no migration aborted in %d steps", res.Steps)
+	}
+}
+
+// TestMigrateMixWithEvolve layers the evolution loop over migration churn:
+// generation state moves with the app, so the evolver must keep cutting
+// generations while apps hop runtimes under it.
+func TestMigrateMixWithEvolve(t *testing.T) {
+	res, err := Run(Config{Steps: 8000, Mix: "migrate", Evolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations == 0 {
+		t.Errorf("no migration completed in %d steps", res.Steps)
+	}
+	if !res.Evolve.Enabled || res.Evolve.Generations == 0 {
+		t.Errorf("evolution idle under migration churn: %+v", res.Evolve)
+	}
+}
+
+// TestMigrateMixDeterminism: migration decisions are driven off the seeded
+// event stream, so identical configs must agree on the digest and both
+// migration counters.
+func TestMigrateMixDeterminism(t *testing.T) {
+	cfg := Config{Seed: 11, Steps: 4000, Mix: "migrate", NoPool: true}
+	a, errA := Run(cfg)
+	b, errB := Run(cfg)
+	if errA != nil || errB != nil {
+		t.Fatalf("runs errored: %v / %v", errA, errB)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("digest diverged: %016x vs %016x", a.Digest, b.Digest)
+	}
+	if a.Migrations != b.Migrations || a.MigrateAborts != b.MigrateAborts {
+		t.Fatalf("migration counters diverged: %d/%d vs %d/%d",
+			a.Migrations, a.MigrateAborts, b.Migrations, b.MigrateAborts)
+	}
+}

@@ -70,9 +70,12 @@ type Config struct {
 	// rewrite switch path instead of the default precomputed-snapshot
 	// root swap (core.Options.SnapshotSwitch).
 	LegacySwitch bool
-	// Mix selects the event mix: "default", or "churn" for a module
-	// load/hide and view hotplug heavy stream that stresses snapshot and
-	// module-list-cache invalidation.
+	// Mix selects the event mix: "default"; "churn" for a module load/hide
+	// and view hotplug heavy stream that stresses snapshot and
+	// module-list-cache invalidation; or "migrate" for the default mix plus
+	// a steady stream of live view migrations onto a second target runtime
+	// (freeze, canonical image round-trip, restore, commit — with the
+	// occasional scripted abort).
 	Mix string
 	// SharedCore enables the shared-core runtime policy
 	// (core.Options.SharedCore): co-scheduled apps on one vCPU run under a
@@ -171,6 +174,9 @@ type Result struct {
 	// Loads, Unloads and PoolRuns count successful hotplug operations and
 	// pool-profiling rounds.
 	Loads, Unloads, PoolRuns uint64
+	// Migrations counts completed live migrations onto the target runtime;
+	// MigrateAborts counts migrations thawed on the scripted abort path.
+	Migrations, MigrateAborts uint64
 	// LiveViews is the number of views still loaded at the end.
 	LiveViews int
 	// Cache is the shadow-page cache's final state.
@@ -231,6 +237,9 @@ func (r *Result) Summary() string {
 	}
 	fmt.Fprintf(&b, "hotplug:    %d loads, %d unloads, %d live, %d pool runs\n",
 		r.Loads, r.Unloads, r.LiveViews, r.PoolRuns)
+	if r.Migrations > 0 || r.MigrateAborts > 0 {
+		fmt.Fprintf(&b, "migrate:    %d completed, %d aborted (thawed)\n", r.Migrations, r.MigrateAborts)
+	}
 	fmt.Fprintf(&b, "page cache: %d distinct, %d deduped, %.0f%% dedup, %d privatized\n",
 		r.Cache.DistinctPages, r.Cache.DedupedPages, 100*r.Cache.DedupRatio(), r.Cache.Privatized)
 	if r.Telemetry.Enabled {
@@ -272,6 +281,14 @@ type Simulator struct {
 	synCount int
 	lastPool int
 	step     int
+
+	// migK/migRT are the lazily booted migration-target machine and
+	// runtime (no injector, no emitter — its state never perturbs the
+	// source's telemetry parity); migImported tracks imported view indices
+	// so long runs cap the target's population.
+	migK        *kernel.Kernel
+	migRT       *core.Runtime
+	migImported []int
 
 	dig  *digest
 	ring []string

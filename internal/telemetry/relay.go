@@ -168,6 +168,17 @@ func (t *SeqTracker) Admit(node string, first uint64, n int) int {
 	return skip
 }
 
+// Next returns a node's next-expected cumulative sequence — the exact
+// count of events admitted from it. Live migration reads it on both sides
+// of a cutover: the source's final-seq watermark must equal Next(source)
+// once its drained stream lands, and fleet-wide exactness is the sum of
+// Next over every node, unchanged by the move.
+func (t *SeqTracker) Next(node string) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next[node]
+}
+
 // Dups returns the total duplicate events skipped.
 func (t *SeqTracker) Dups() uint64 {
 	t.mu.Lock()
